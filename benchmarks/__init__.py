@@ -1,0 +1,2 @@
+"""Benchmark suite: one module per paper figure plus extension/ablation
+benches.  Run with ``pytest benchmarks/ --benchmark-only``."""

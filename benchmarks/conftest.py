@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with:  pytest benchmarks/ --benchmark-only
+
+Each benchmark mirrors one figure (or extension claim) of the paper; the
+measured quantity and the paper's expected shape are recorded in
+``benchmark.extra_info`` and printed at the end of the run.  Absolute
+numbers are pure-Python scale — see DESIGN.md §2 and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.field.modular import DEFAULT_FIELD
+from repro.streams.generators import uniform_frequency_stream
+
+
+@pytest.fixture(scope="session")
+def field():
+    return DEFAULT_FIELD
+
+
+def section5_stream(u: int, seed: int = 0):
+    """The paper's workload: u = n, counts uniform in [0, 1000]."""
+    return uniform_frequency_stream(u, max_frequency=1000,
+                                    rng=random.Random(seed))
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["workload"] = "uniform counts in [0,1000], u = n"

@@ -1,0 +1,60 @@
+"""Ablation (Sec. 3.1 footnote): the ℓ-vs-d tradeoff in the streaming LDE.
+
+ℓ = 2 maximises d = log u (more rounds, smallest messages); larger ℓ
+shrinks d at the price of O(ℓ) words per basis table and per message.
+This bench measures the verifier's per-update cost and table space across
+ℓ, confirming the paper's choice of ℓ = 2 as "probably the most
+economical tradeoff".
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.lde.streaming import StreamingLDE
+
+U = 1 << 12
+ELLS = [2, 4, 16]
+
+
+@pytest.mark.parametrize("ell", ELLS)
+def test_lde_update_cost_by_ell(benchmark, field, ell):
+    rng = random.Random(80)
+    updates = [(rng.randrange(U), rng.randint(1, 9)) for _ in range(2000)]
+    lde = StreamingLDE(field, U, ell=ell, rng=random.Random(81))
+
+    benchmark(lambda: lde.process_stream(updates))
+    benchmark.extra_info["figure"] = "ablation-ell"
+    benchmark.extra_info["d"] = lde.d
+    benchmark.extra_info["table_words"] = lde.d * ell
+    benchmark.extra_info["paper_shape"] = (
+        "per-update O(d) with tables; tables cost d*ell words"
+    )
+
+
+def test_all_ells_agree_on_value(field):
+    """Whatever ℓ, the LDE at corresponding points encodes the same data:
+    check all variants agree with a direct evaluation oracle."""
+    rng = random.Random(82)
+    updates = [(rng.randrange(256), rng.randint(-5, 9)) for _ in range(300)]
+    a = [0] * 256
+    for i, d in updates:
+        a[i] += d
+    for ell in ELLS:
+        lde = StreamingLDE(field, 256, ell=ell, rng=random.Random(83))
+        lde.process_stream(updates)
+        padded = a + [0] * (ell**lde.d - 256)
+        assert lde.value == StreamingLDE.direct_evaluate(
+            field, padded, ell, lde.point
+        )
+
+
+def test_dimension_shrinks_with_ell(field):
+    dims = {
+        ell: StreamingLDE(field, U, ell=ell, rng=random.Random(84)).d
+        for ell in ELLS
+    }
+    assert dims[2] > dims[4] > dims[16]
+    assert dims[2] == 12

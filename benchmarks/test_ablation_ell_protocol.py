@@ -1,0 +1,64 @@
+"""Ablation (Sec. 3.1 footnote) at the protocol level: F2 with base ℓ.
+
+ℓ = 2 maximises rounds (log u) with 3-word messages; ℓ = √u is the
+one-round regime with √u-word messages.  This bench sweeps ℓ at fixed u
+and records the (rounds, words, space) frontier — the paper's claim is
+that ℓ = 2 is "probably the most economical tradeoff".
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import section5_stream
+from repro.core.f2_general import (
+    GeneralF2Prover,
+    GeneralF2Verifier,
+    run_general_f2,
+)
+
+U = 1 << 12
+ELLS = [2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("ell", ELLS)
+def test_general_f2_by_ell(benchmark, field, ell):
+    stream = section5_stream(U, seed=110)
+    verifier = GeneralF2Verifier(field, U, ell, rng=random.Random(111))
+    prover = GeneralF2Prover(field, U, ell)
+    verifier.process_stream(stream.updates())
+    prover.process_stream(stream.updates())
+
+    result = benchmark.pedantic(
+        lambda: run_general_f2(prover, verifier), rounds=2, iterations=1
+    )
+    assert result.accepted
+    assert result.value == stream.self_join_size() % field.p
+    benchmark.extra_info["figure"] = "ablation-ell-protocol"
+    benchmark.extra_info["rounds"] = result.transcript.rounds
+    benchmark.extra_info["comm_words"] = result.transcript.total_words
+    benchmark.extra_info["space_words"] = result.verifier_space_words
+    benchmark.extra_info["paper_shape"] = (
+        "rounds=log_ell(u); words/round=2*ell-1; ell=2 most economical"
+    )
+
+
+def test_tradeoff_frontier(field):
+    stream = section5_stream(U, seed=112)
+    stats = {}
+    for ell in ELLS:
+        verifier = GeneralF2Verifier(field, U, ell, rng=random.Random(113))
+        prover = GeneralF2Prover(field, U, ell)
+        verifier.process_stream(stream.updates())
+        prover.process_stream(stream.updates())
+        result = run_general_f2(prover, verifier)
+        assert result.accepted
+        stats[ell] = (result.transcript.rounds,
+                      result.transcript.total_words)
+    rounds = [stats[ell][0] for ell in ELLS]
+    words = [stats[ell][1] for ell in ELLS]
+    assert rounds == sorted(rounds, reverse=True)  # rounds shrink with ℓ
+    # Total communication is minimised at the small-ℓ end of the sweep.
+    assert min(words) == words[0] or min(words) == words[1]

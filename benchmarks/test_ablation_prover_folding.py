@@ -1,0 +1,104 @@
+"""Ablation (Appendix B.1): the prover's table-folding trick.
+
+The naive prover recomputes the partial-sum table from the raw frequency
+vector in every round (Θ(u) folds per round, Θ(u log u) total); the
+Appendix B.1 prover folds incrementally (Θ(u) total).  Both produce
+identical messages — only the cost differs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from benchmarks.conftest import section5_stream
+from repro.core.f2 import F2Prover
+
+U = 1 << 13
+
+
+class NaiveRefoldF2Prover(F2Prover):
+    """Appendix B.1 *without* the incremental folding: each round re-folds
+    the table from scratch using all challenges received so far."""
+
+    def begin_proof(self) -> None:
+        super().begin_proof()
+        self._challenges: List[int] = []
+        self._base = list(self._table)
+
+    def round_message(self) -> List[int]:
+        p = self.field.p
+        table = list(self._base)
+        for r in self._challenges:  # re-fold everything, every round
+            one_minus_r = (1 - r) % p
+            table = [
+                (one_minus_r * table[t] + r * table[t + 1]) % p
+                for t in range(0, len(table), 2)
+            ]
+        self._table = table
+        return super().round_message()
+
+    def receive_challenge(self, r: int) -> None:
+        self._challenges.append(r)
+
+
+def drive(prover, challenges):
+    prover.begin_proof()
+    messages = []
+    for j in range(prover.d):
+        messages.append(prover.round_message())
+        if j < prover.d - 1:
+            prover.receive_challenge(challenges[j])
+    return messages
+
+
+@pytest.fixture(scope="module")
+def setup(field):
+    stream = section5_stream(U, seed=90)
+    challenges = field.rand_vector(random.Random(91), 13)
+    return stream, challenges
+
+
+def test_folding_prover(benchmark, field, setup):
+    stream, challenges = setup
+    prover = F2Prover(field, U)
+    prover.process_stream(stream.updates())
+    benchmark.pedantic(lambda: drive(prover, challenges), rounds=2,
+                       iterations=1)
+    benchmark.extra_info["figure"] = "ablation-folding"
+    benchmark.extra_info["paper_shape"] = "O(u) total (Appendix B.1)"
+
+
+def test_naive_refold_prover(benchmark, field, setup):
+    stream, challenges = setup
+    prover = NaiveRefoldF2Prover(field, U)
+    prover.process_stream(stream.updates())
+    benchmark.pedantic(lambda: drive(prover, challenges), rounds=2,
+                       iterations=1)
+    benchmark.extra_info["figure"] = "ablation-folding"
+    benchmark.extra_info["paper_shape"] = "O(u log u) without folding"
+
+
+def test_identical_messages(field, setup):
+    """The optimisation is cost-only: message streams must be identical."""
+    stream, challenges = setup
+    fast = F2Prover(field, U)
+    slow = NaiveRefoldF2Prover(field, U)
+    fast.process_stream(stream.updates())
+    slow.process_stream(stream.updates())
+    assert drive(fast, challenges) == drive(slow, challenges)
+
+
+def test_folding_is_faster(field, setup):
+    from repro.experiments.harness import time_call
+
+    stream, challenges = setup
+    fast = F2Prover(field, U)
+    slow = NaiveRefoldF2Prover(field, U)
+    fast.process_stream(stream.updates())
+    slow.process_stream(stream.updates())
+    t_fast, _ = time_call(lambda: drive(fast, challenges))
+    t_slow, _ = time_call(lambda: drive(slow, challenges))
+    assert t_slow > 1.5 * t_fast

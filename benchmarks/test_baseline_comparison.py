@@ -1,0 +1,97 @@
+"""The Section 1 cost landscape, measured: (n,1) vs (1,n) vs (√u,√u) vs
+(log u, log u) for F2 on one stream."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import section5_stream
+from repro.baselines.trivial import LocalStateVerifier, ship_and_verify_f2
+from repro.core.f2 import self_join_size_protocol
+from repro.core.single_round import single_round_f2_protocol
+
+U = 1 << 12
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return section5_stream(U, seed=120)
+
+
+def test_local_state_baseline(benchmark, stream):
+    def run():
+        verifier = LocalStateVerifier(U)
+        verifier.process_stream(stream.updates())
+        return verifier.self_join_size()
+
+    value = benchmark(run)
+    assert value == stream.self_join_size()
+    benchmark.extra_info["figure"] = "baseline-landscape"
+    benchmark.extra_info["protocol"] = "(n,1) local state"
+    benchmark.extra_info["space_words"] = 2 * stream.stats().num_nonzero
+    benchmark.extra_info["comm_words"] = 0
+
+
+def test_ship_answer_baseline(benchmark, field, stream):
+    result = benchmark.pedantic(
+        lambda: ship_and_verify_f2(stream, field, rng=random.Random(121)),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.accepted
+    benchmark.extra_info["figure"] = "baseline-landscape"
+    benchmark.extra_info["protocol"] = "(1,n) ship the answer [28]"
+    benchmark.extra_info["space_words"] = result.verifier_space_words
+    benchmark.extra_info["comm_words"] = result.transcript.total_words
+
+
+def test_single_round_baseline(benchmark, field, stream):
+    result = benchmark.pedantic(
+        lambda: single_round_f2_protocol(stream, field,
+                                         rng=random.Random(122)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.accepted
+    benchmark.extra_info["figure"] = "baseline-landscape"
+    benchmark.extra_info["protocol"] = "(sqrt u, sqrt u) [6]"
+    benchmark.extra_info["space_words"] = result.verifier_space_words
+    benchmark.extra_info["comm_words"] = result.transcript.total_words
+
+
+def test_multi_round_this_paper(benchmark, field, stream):
+    result = benchmark.pedantic(
+        lambda: self_join_size_protocol(stream, field,
+                                        rng=random.Random(123)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.accepted
+    benchmark.extra_info["figure"] = "baseline-landscape"
+    benchmark.extra_info["protocol"] = "(log u, log u) this paper"
+    benchmark.extra_info["space_words"] = result.verifier_space_words
+    benchmark.extra_info["comm_words"] = result.transcript.total_words
+
+
+def test_landscape_ordering(field, stream):
+    """space·communication: the lower-bound product s·t = Ω(u) binds the
+    non-interactive protocols; interaction breaks it."""
+    local_space = 2 * stream.stats().num_nonzero
+    ship = ship_and_verify_f2(stream, field, rng=random.Random(124))
+    single = single_round_f2_protocol(stream, field, rng=random.Random(125))
+    multi = self_join_size_protocol(stream, field, rng=random.Random(126))
+    assert ship.accepted and single.accepted and multi.accepted
+
+    product = {
+        "local": local_space * 1,
+        "ship": ship.verifier_space_words * ship.transcript.total_words,
+        "single": single.verifier_space_words
+        * single.transcript.total_words,
+        "multi": multi.verifier_space_words * multi.transcript.total_words,
+    }
+    # The one-message protocols sit near s·t ~ u; ours is polylog.
+    assert product["multi"] < product["single"] / 4
+    assert product["multi"] < product["ship"] / 4
+    assert product["multi"] < product["local"] / 4

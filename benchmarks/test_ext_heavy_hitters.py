@@ -1,0 +1,56 @@
+"""Extension (Sec. 6.1): heavy-hitters proof size is O(1/φ · log u)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.heavy_hitters import (
+    HeavyHittersProver,
+    HeavyHittersVerifier,
+    run_heavy_hitters,
+)
+from repro.streams.generators import zipf_stream
+
+U = 1 << 10
+PHIS = [0.1, 0.05, 0.02]
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return zipf_stream(U, 16 * U, skew=1.1, rng=random.Random(50))
+
+
+@pytest.mark.parametrize("phi", PHIS)
+def test_heavy_hitters_protocol_bench(benchmark, field, traffic, phi):
+    verifier = HeavyHittersVerifier(field, U, phi, rng=random.Random(51))
+    prover = HeavyHittersProver(field, U, phi)
+    verifier.process_stream(traffic.updates())
+    prover.process_stream(traffic.updates())
+
+    result = benchmark.pedantic(
+        lambda: run_heavy_hitters(prover, verifier), rounds=2, iterations=1
+    )
+    assert result.accepted
+    assert result.value == traffic.heavy_hitters(phi)
+    benchmark.extra_info["figure"] = "ext-hh"
+    benchmark.extra_info["phi"] = phi
+    benchmark.extra_info["num_heavy"] = len(result.value)
+    benchmark.extra_info["proof_words"] = result.transcript.prover_words
+    benchmark.extra_info["paper_shape"] = "proof size O((1/phi) log u)"
+
+
+def test_proof_size_bounded_by_inverse_phi_log_u(field, traffic):
+    d = 10
+    for phi in PHIS:
+        verifier = HeavyHittersVerifier(field, U, phi,
+                                        rng=random.Random(52))
+        prover = HeavyHittersProver(field, U, phi)
+        verifier.process_stream(traffic.updates())
+        prover.process_stream(traffic.updates())
+        result = run_heavy_hitters(prover, verifier)
+        assert result.accepted
+        # <= 3 words per node, <= 2·(2/phi + 1) nodes per level, d levels.
+        bound = 3 * int(2 * (2 / phi + 1)) * d
+        assert result.transcript.prover_words <= bound

@@ -1,0 +1,73 @@
+"""Figure 3(a): SUB-VECTOR verifier and prover time vs u.
+
+Paper shape: the verifier's streaming time matches the F2 verifier's
+(both evaluate an LDE-like hash per update); the prover's interactive
+work is about the same as the verifier's streaming work, both ~linear.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import section5_stream
+from repro.core.subvector import (
+    SubVectorProver,
+    TreeHashVerifier,
+    run_subvector,
+)
+
+SIZES = [1 << 10, 1 << 12, 1 << 14]
+RANGE_LENGTH = 1000  # the paper reports qR - qL = 1000
+
+
+@pytest.mark.parametrize("u", SIZES)
+def test_subvector_verifier_stream(benchmark, field, u):
+    stream = list(section5_stream(u).updates())
+
+    def run():
+        verifier = TreeHashVerifier(field, u, rng=random.Random(8))
+        verifier.process_stream(stream)
+        return verifier
+
+    benchmark(run)
+    benchmark.extra_info["figure"] = "3a"
+    benchmark.extra_info["paper_shape"] = "linear; similar to F2 verifier"
+
+
+@pytest.mark.parametrize("u", SIZES)
+def test_subvector_proof_round_trip(benchmark, field, u):
+    stream = section5_stream(u)
+    verifier = TreeHashVerifier(field, u, rng=random.Random(9))
+    prover = SubVectorProver(field, u)
+    verifier.process_stream(stream.updates())
+    prover.process_stream(stream.updates())
+    hi = min(u - 1, RANGE_LENGTH - 1)
+
+    result = benchmark.pedantic(
+        lambda: run_subvector(prover, verifier, 0, hi),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.accepted
+    benchmark.extra_info["figure"] = "3a"
+    benchmark.extra_info["answer_k"] = result.value.k
+    benchmark.extra_info["paper_shape"] = (
+        "prover work ~ verifier work (hashes of substrings)"
+    )
+
+
+def test_subvector_verifier_matches_f2_verifier_rate(field):
+    """Figure 3(a) observation: SUB-VECTOR and F2 verifiers process the
+    stream at comparable rates (same per-update work shape)."""
+    from repro.core.f2 import F2Verifier
+    from repro.experiments.harness import time_call
+
+    u = 1 << 13
+    stream = list(section5_stream(u).updates())
+    tree = TreeHashVerifier(field, u, rng=random.Random(10))
+    f2 = F2Verifier(field, u, rng=random.Random(11))
+    t_tree, _ = time_call(lambda: tree.process_stream(stream))
+    t_f2, _ = time_call(lambda: f2.process_stream(stream))
+    assert 0.2 < t_tree / t_f2 < 5.0

@@ -1,0 +1,71 @@
+"""Figure 3(b): SUB-VECTOR space and communication vs u.
+
+Paper shape: verifier space is minimal (r plus intermediates);
+communication is dominated by the k reported values ("the rest is less
+than 1KB").
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import section5_stream
+from repro.core.subvector import (
+    SubVectorProver,
+    TreeHashVerifier,
+    run_subvector,
+)
+
+SIZES = [1 << 10, 1 << 12, 1 << 14]
+RANGE_LENGTH = 1000
+
+
+@pytest.mark.parametrize("u", SIZES)
+def test_subvector_space_comm(benchmark, field, u):
+    stream = section5_stream(u)
+    verifier = TreeHashVerifier(field, u, rng=random.Random(12))
+    prover = SubVectorProver(field, u)
+    verifier.process_stream(stream.updates())
+    prover.process_stream(stream.updates())
+    hi = min(u - 1, RANGE_LENGTH - 1)
+
+    result = benchmark.pedantic(
+        lambda: run_subvector(prover, verifier, 0, hi),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.accepted
+    wb = field.word_bytes
+    answer_words = 2 * result.value.k
+    overhead_bytes = (result.transcript.total_words - answer_words) * wb
+    benchmark.extra_info["figure"] = "3b"
+    benchmark.extra_info["space_bytes"] = result.verifier_space_words * wb
+    benchmark.extra_info["comm_bytes"] = result.transcript.total_words * wb
+    benchmark.extra_info["overhead_beyond_answer_bytes"] = overhead_bytes
+    benchmark.extra_info["paper_shape"] = (
+        "comm dominated by the k answer words; overhead < 1KB"
+    )
+    assert overhead_bytes < 1024
+    assert result.verifier_space_words * wb < 1024
+
+
+def test_overhead_constant_in_answer_size(field):
+    """Widening the queried range grows only the answer part of the
+    communication, not the protocol overhead."""
+    u = 1 << 12
+    stream = section5_stream(u)
+    overheads = []
+    for hi in (63, 255, 1023):
+        verifier = TreeHashVerifier(field, u, rng=random.Random(13))
+        prover = SubVectorProver(field, u)
+        verifier.process_stream(stream.updates())
+        prover.process_stream(stream.updates())
+        result = run_subvector(prover, verifier, 0, hi)
+        assert result.accepted
+        overheads.append(
+            result.transcript.total_words - 2 * result.value.k
+        )
+    spread = max(overheads) - min(overheads)
+    assert spread <= 2 * 12  # a couple of sibling pairs at most

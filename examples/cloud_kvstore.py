@@ -1,0 +1,84 @@
+"""The paper's motivating scenario (Section 1): a Dynamo-style key-value
+store outsourced to an untrusted cloud.
+
+The data owner uploads (key, value) pairs as they arrive -- it never holds
+the full data set -- keeping only O(log u) words of verification state.
+Later it asks the cloud for gets, predecessor lookups and range scans, and
+*verifies* every answer with the SUB-VECTOR protocol family (Section 4).
+
+Run:  python examples/cloud_kvstore.py
+"""
+
+import random
+
+from repro import DEFAULT_FIELD, OutsourcedKVStore, ReportingProver, TreeHashVerifier
+from repro.core.reporting import (
+    dictionary_get,
+    predecessor_query,
+    range_query,
+    successor_query,
+)
+from repro.streams.generators import key_value_pairs
+
+
+def fresh_session(store, seed):
+    """One verified query needs one fresh-randomness session (Section 7)."""
+    verifier = TreeHashVerifier(DEFAULT_FIELD, store.u,
+                                rng=random.Random(seed))
+    prover = ReportingProver(DEFAULT_FIELD, store.u)
+    for key, delta in store.updates():
+        verifier.process(key, delta)
+        prover.process(key, delta)
+    return prover, verifier
+
+
+def main():
+    u = 1 << 12
+    store = OutsourcedKVStore(u)  # the cloud
+    pairs = key_value_pairs(u, 200, rng=random.Random(7))
+    store.put_many(pairs)
+    print("uploaded %d key-value pairs to the cloud" % len(store))
+
+    some_key = pairs[0][0]
+    prover, verifier = fresh_session(store, seed=1)
+    result = dictionary_get(prover, verifier, some_key)
+    assert result.accepted and result.value.value == store.get(some_key)
+    print("get(%d) = %s  [verified, %d words exchanged]"
+          % (some_key, result.value.value, result.transcript.total_words))
+
+    absent = next(k for k in range(u) if store.get(k) is None)
+    prover, verifier = fresh_session(store, seed=2)
+    result = dictionary_get(prover, verifier, absent)
+    assert result.accepted and not result.value.found
+    print("get(%d) = not found  [verified]" % absent)
+
+    q = u // 2
+    prover, verifier = fresh_session(store, seed=3)
+    pred = predecessor_query(prover, verifier, q)
+    assert pred.accepted and pred.value == store.predecessor_key(q)
+    print("predecessor(%d) = %s  [verified]" % (q, pred.value))
+
+    prover, verifier = fresh_session(store, seed=4)
+    succ = successor_query(prover, verifier, q)
+    assert succ.accepted and succ.value == store.successor_key(q)
+    print("successor(%d) = %s  [verified]" % (q, succ.value))
+
+    lo, hi = u // 4, u // 2
+    prover, verifier = fresh_session(store, seed=5)
+    scan = range_query(prover, verifier, lo, hi)
+    assert scan.accepted
+    decoded = sorted((k, v - 1) for k, v in scan.value.entries)
+    assert decoded == store.range_scan(lo, hi)
+    print("range [%d, %d]: %d pairs  [verified, %d words]"
+          % (lo, hi, len(decoded), scan.transcript.total_words))
+
+    # A corrupted cloud: one stored value silently flips.
+    prover, verifier = fresh_session(store, seed=6)
+    prover.freq[some_key] += 1
+    bad = dictionary_get(prover, verifier, some_key)
+    assert not bad.accepted
+    print("corrupted cloud         : rejected (%s)" % bad.reason)
+
+
+if __name__ == "__main__":
+    main()

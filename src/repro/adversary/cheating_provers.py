@@ -1,0 +1,186 @@
+"""Dishonest provers for the soundness experiments of Section 5.
+
+The paper: "We also tried modifying the prover's messages, by changing
+some pieces of the proof, or computing the proof for a slightly modified
+stream.  In all cases, the protocols caught the error."  Each class here
+is one such strategy; tests and benchmarks assert that every one of them
+is rejected (up to the negligible O(log u / p) soundness error).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.f2 import F2Prover
+from repro.core.heavy_hitters import HeavyHittersProver
+from repro.core.subvector import SubVectorProver
+from repro.field.modular import PrimeField
+
+
+class ModifiedStreamF2Prover(F2Prover):
+    """Computes a perfectly-formed proof — for a *different* stream.
+
+    Models a cloud that lost or corrupted one update: a single frequency
+    is perturbed before the proof is generated, so the claimed F2 is wrong
+    but every sum-check message is internally consistent.
+    """
+
+    def __init__(self, field: PrimeField, u: int, corrupt_key: int = 0,
+                 offset: int = 1):
+        super().__init__(field, u)
+        self.corrupt_key = corrupt_key
+        self.offset = offset
+
+    def begin_proof(self) -> None:
+        p = self.field.p
+        corrupted = list(self.freq)
+        corrupted[self.corrupt_key] += self.offset
+        self._table = [f % p for f in corrupted]
+
+
+class OffsetClaimF2Prover(F2Prover):
+    """Shifts the first message to inflate the claimed F2, then plays
+    honestly — caught by the round-2 consistency check."""
+
+    def __init__(self, field: PrimeField, u: int, offset: int = 1):
+        super().__init__(field, u)
+        self.offset = offset
+        self._first = True
+
+    def begin_proof(self) -> None:
+        super().begin_proof()
+        self._first = True
+
+    def round_message(self) -> List[int]:
+        msg = super().round_message()
+        if self._first:
+            self._first = False
+            msg[0] = (msg[0] + self.offset) % self.field.p
+        return msg
+
+
+class AdaptiveF2Cheater(F2Prover):
+    """The strongest lying strategy available without knowing r.
+
+    Inflates the claim by δ and then *keeps every consistency check
+    satisfied* by smearing the lie: sending g'_j = g_j + δ_j with constant
+    δ_j = δ / 2^j (so g'_j(0) + g'_j(1) = g'_{j-1}(r_{j-1}) holds exactly).
+    Only the final check against f_a(r)² — private to the verifier — can
+    catch it, and it does: g'_d(r_d) differs from the honest value by
+    δ / 2^d ≠ 0.
+    """
+
+    def __init__(self, field: PrimeField, u: int, offset: int = 1):
+        super().__init__(field, u)
+        self.offset = offset % field.p
+        self._half = field.inv(2)
+
+    def begin_proof(self) -> None:
+        super().begin_proof()
+        self._drift = self.offset * self._half % self.field.p
+
+    def round_message(self) -> List[int]:
+        msg = super().round_message()
+        p = self.field.p
+        drift = self._drift
+        shifted = [(v + drift) % p for v in msg]
+        self._drift = drift * self._half % p
+        return shifted
+
+
+class OmittingSubVectorProver(SubVectorProver):
+    """Hides one present key from the reported sub-vector (an incomplete
+    range scan) — root reconstruction then misses its hash contribution."""
+
+    def __init__(self, field: PrimeField, u: int, omit_key: int):
+        super().__init__(field, u)
+        self.omit_key = omit_key
+
+    def answer_entries(self) -> List[Tuple[int, int]]:
+        return [
+            (k, v) for k, v in super().answer_entries() if k != self.omit_key
+        ]
+
+
+class AlteringSubVectorProver(SubVectorProver):
+    """Reports a wrong value for one key (a corrupted read)."""
+
+    def __init__(self, field: PrimeField, u: int, alter_key: int,
+                 offset: int = 1):
+        super().__init__(field, u)
+        self.alter_key = alter_key
+        self.offset = offset
+
+    def answer_entries(self) -> List[Tuple[int, int]]:
+        p = self.field.p
+        out = []
+        for k, v in super().answer_entries():
+            if k == self.alter_key:
+                v = (v + self.offset) % p
+            out.append((k, v))
+        return out
+
+
+class InjectingSubVectorProver(SubVectorProver):
+    """Invents an extra (absent) key inside the range (a phantom record)."""
+
+    def __init__(self, field: PrimeField, u: int, inject_key: int,
+                 value: int = 1):
+        super().__init__(field, u)
+        self.inject_key = inject_key
+        self.value = value
+
+    def answer_entries(self) -> List[Tuple[int, int]]:
+        entries = dict(super().answer_entries())
+        if self.inject_key in entries:
+            raise ValueError("inject_key must be absent from the range")
+        entries[self.inject_key] = self.value % self.field.p
+        return sorted(entries.items())
+
+
+class ConcealingHeavyHittersProver(HeavyHittersProver):
+    """Understates one leaf's count (and its ancestors') to hide a heavy
+    hitter.  The hash values stay truthful, so the verifier's recomputed
+    parent hashes — which mix the *claimed* counts with s_j — diverge from
+    the streamed root."""
+
+    def __init__(self, field: PrimeField, u: int, phi: float,
+                 conceal_key: int):
+        super().__init__(field, u, phi)
+        self.conceal_key = conceal_key
+
+    def begin_proof(self) -> None:
+        super().begin_proof()
+        # Reduce the concealed leaf's count to 0 along its whole root path.
+        removed = self._counts[0][self.conceal_key]
+        idx = self.conceal_key
+        for level in range(len(self._counts)):
+            self._counts[level][idx] -= removed
+            idx >>= 1
+
+
+class InflatingHeavyHittersProver(HeavyHittersProver):
+    """Claims an absent/light key is heavy by inflating its count."""
+
+    def __init__(self, field: PrimeField, u: int, phi: float,
+                 inflate_key: int, amount: int):
+        super().__init__(field, u, phi)
+        self.inflate_key = inflate_key
+        self.amount = amount
+
+    def begin_proof(self) -> None:
+        super().begin_proof()
+        idx = self.inflate_key
+        for level in range(len(self._counts)):
+            self._counts[level][idx] += self.amount
+            idx >>= 1
+
+
+def corrupted_copy(stream, key: int, offset: int = 1):
+    """A copy of ``stream`` with one extra update — the "slightly modified
+    stream" experiment: the honest machinery run on the wrong data."""
+    from repro.streams.model import Stream
+
+    out = Stream(stream.u, stream.updates())
+    out.append(key, offset)
+    return out

@@ -1,0 +1,17 @@
+"""Prior-work baselines: (n,1) local state and (1,n) ship-the-answer."""
+
+from repro.baselines.trivial import (
+    LocalStateVerifier,
+    ShipAnswerProver,
+    ShipAnswerVerifier,
+    ship_and_verify,
+    ship_and_verify_f2,
+)
+
+__all__ = [
+    "LocalStateVerifier",
+    "ShipAnswerProver",
+    "ShipAnswerVerifier",
+    "ship_and_verify",
+    "ship_and_verify_f2",
+]

@@ -1,0 +1,30 @@
+"""Prover/verifier channel and transcript accounting."""
+
+from repro.comm.channel import (
+    Channel,
+    TamperHook,
+    drop_last_word,
+    flip_word,
+    replace_payload,
+)
+from repro.comm.fingerprint import (
+    SequenceFingerprint,
+    StreamFingerprint,
+    fingerprint_words,
+)
+from repro.comm.transcript import PROVER, VERIFIER, Message, Transcript
+
+__all__ = [
+    "Channel",
+    "Message",
+    "PROVER",
+    "SequenceFingerprint",
+    "StreamFingerprint",
+    "TamperHook",
+    "Transcript",
+    "VERIFIER",
+    "drop_last_word",
+    "fingerprint_words",
+    "flip_word",
+    "replace_payload",
+]

@@ -1,0 +1,98 @@
+"""The channel between prover and verifier.
+
+A :class:`Channel` records every message into a :class:`Transcript` and
+optionally applies a *tamper hook* to prover messages — this models a
+dishonest prover (or a corrupted network) and drives the soundness
+experiments of Section 5 ("we also tried modifying the prover's
+messages ... in all cases, the protocols caught the error").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.comm.transcript import PROVER, VERIFIER, Message, Transcript
+
+# A tamper hook sees (message) and returns the payload to deliver.
+TamperHook = Callable[[Message], Sequence[int]]
+
+
+class Channel:
+    """Records messages; optionally perturbs prover messages in flight."""
+
+    def __init__(self, tamper: Optional[TamperHook] = None):
+        self.transcript = Transcript()
+        self.tamper = tamper
+        self.tampered_messages = 0
+
+    def prover_says(
+        self, round_index: int, label: str, payload: Sequence[int]
+    ) -> List[int]:
+        """Deliver a prover message; returns the (possibly tampered) payload.
+
+        The transcript records what was *delivered*, since that is what the
+        verifier charges for and reacts to.
+        """
+        delivered = list(payload)
+        if self.tamper is not None:
+            candidate = Message(PROVER, round_index, label, tuple(delivered))
+            tampered = list(self.tamper(candidate))
+            if tampered != delivered:
+                self.tampered_messages += 1
+            delivered = tampered
+        self.transcript.record(PROVER, round_index, label, delivered)
+        return delivered
+
+    def verifier_says(
+        self, round_index: int, label: str, payload: Sequence[int]
+    ) -> List[int]:
+        """Deliver a verifier message (verifier messages are never tampered:
+        the adversary is the prover, not the verifier)."""
+        delivered = list(payload)
+        self.transcript.record(VERIFIER, round_index, label, delivered)
+        return delivered
+
+
+def flip_word(
+    round_index: int, position: int = 0, offset: int = 1
+) -> TamperHook:
+    """Tamper hook: add ``offset`` to one word of one prover message.
+
+    Rounds are counted per-prover-message (0-based over the prover's
+    messages in transcript order for that round index).
+    """
+
+    def hook(message: Message) -> Sequence[int]:
+        if message.round_index != round_index:
+            return message.payload
+        payload = list(message.payload)
+        if not payload:
+            return payload
+        payload[position % len(payload)] += offset
+        return payload
+
+    return hook
+
+
+def drop_last_word(round_index: int) -> TamperHook:
+    """Tamper hook: truncate one prover message (degree/shape violation)."""
+
+    def hook(message: Message) -> Sequence[int]:
+        if message.round_index != round_index or not message.payload:
+            return message.payload
+        return list(message.payload)[:-1]
+
+    return hook
+
+
+def replace_payload(round_index: int, payload: Sequence[int]) -> TamperHook:
+    """Tamper hook: substitute an entire prover message."""
+
+    fixed = list(payload)
+
+    def hook(message: Message) -> Sequence[int]:
+        if message.round_index != round_index:
+            return message.payload
+        return list(fixed)
+
+    return hook

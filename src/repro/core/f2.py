@@ -1,0 +1,200 @@
+"""SELF-JOIN SIZE (F2) — the multi-round sum-check protocol of Section 3.1.
+
+With ℓ = 2 and d = log u the verifier keeps the secret point ``r`` and the
+streaming LDE value ``f_a(r)``; the prover sends one degree-2 polynomial
+per round (as 3 evaluations), the verifier checks the sum-check invariant
+
+    g_{j-1}(r_{j-1}) = g_j(0) + g_j(1)
+
+and finally ``g_d(r_d) = f_a(r)^2``.  Soundness error 2dℓ/p = 4·log(u)/p
+(Lemma 1).  The honest prover uses the Appendix B.1 table-folding
+algorithm: O(u) total work across all rounds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.comm.channel import Channel
+from repro.core.base import (
+    VerificationResult,
+    accepted,
+    pow2_dimension,
+    rejected,
+)
+from repro.field.modular import PrimeField
+from repro.field.polynomial import evaluate_from_evals
+from repro.lde.streaming import StreamingLDE
+
+
+class F2Prover:
+    """Honest prover: stores the frequency vector, folds it per round."""
+
+    def __init__(self, field: PrimeField, u: int):
+        self.field = field
+        self.u = u
+        self.d = pow2_dimension(u)
+        self.size = 1 << self.d
+        self.freq: List[int] = [0] * self.size
+        self._table: Optional[List[int]] = None
+
+    # -- stream phase -------------------------------------------------------
+
+    def process(self, i: int, delta: int) -> None:
+        self.freq[i] += delta
+
+    def process_stream(self, updates) -> None:
+        for i, delta in updates:
+            self.freq[i] += delta
+
+    def true_answer(self) -> int:
+        """Exact integer F2 (what an honest cloud reports)."""
+        return sum(f * f for f in self.freq)
+
+    # -- proof phase ---------------------------------------------------------
+
+    def begin_proof(self) -> None:
+        p = self.field.p
+        self._table = [f % p for f in self.freq]
+
+    def round_message(self) -> List[int]:
+        """Evaluations [g_j(0), g_j(1), g_j(2)] of the round polynomial.
+
+        With the current folded table A (pairs sharing a suffix adjacent):
+        g(c) = Σ_t ((1-c)·A[2t] + c·A[2t+1])².
+        """
+        if self._table is None:
+            raise RuntimeError("begin_proof() must be called first")
+        p = self.field.p
+        table = self._table
+        g0 = 0
+        g1 = 0
+        g2 = 0
+        for t in range(0, len(table), 2):
+            lo = table[t]
+            hi = table[t + 1]
+            g0 += lo * lo
+            g1 += hi * hi
+            at2 = 2 * hi - lo
+            g2 += at2 * at2
+        return [g0 % p, g1 % p, g2 % p]
+
+    def receive_challenge(self, r: int) -> None:
+        """Fold the table: A'[t] = (1-r)·A[2t] + r·A[2t+1]."""
+        if self._table is None:
+            raise RuntimeError("begin_proof() must be called first")
+        p = self.field.p
+        table = self._table
+        one_minus_r = (1 - r) % p
+        self._table = [
+            (one_minus_r * table[t] + r * table[t + 1]) % p
+            for t in range(0, len(table), 2)
+        ]
+
+
+class F2Verifier:
+    """Streaming verifier: secret point ``r``, running LDE, O(log u) words."""
+
+    def __init__(
+        self,
+        field: PrimeField,
+        u: int,
+        rng: Optional[random.Random] = None,
+        point: Optional[Sequence[int]] = None,
+    ):
+        self.field = field
+        self.u = u
+        self.d = pow2_dimension(u)
+        self.size = 1 << self.d
+        if point is None:
+            if rng is None:
+                rng = random.Random()
+            point = field.rand_vector(rng, self.d)
+        self.lde = StreamingLDE(field, self.size, ell=2, point=point)
+        self.r = self.lde.point
+
+    def process(self, i: int, delta: int) -> None:
+        if not 0 <= i < self.u:
+            raise ValueError("key %d outside universe [0, %d)" % (i, self.u))
+        self.lde.update(i, delta)
+
+    def process_stream(self, updates) -> None:
+        for i, delta in updates:
+            self.process(i, delta)
+
+    @property
+    def space_words(self) -> int:
+        # r (d words), f_a(r), previous round evaluation, claimed answer,
+        # and the current 3-word message being checked.
+        return self.d + 1 + 1 + 1 + 3
+
+
+def run_f2(
+    prover: F2Prover,
+    verifier: F2Verifier,
+    channel: Optional[Channel] = None,
+) -> VerificationResult:
+    """Run the d-round F2 protocol; returns the verified self-join size.
+
+    The returned value is F2 mod p; as in the paper, p is chosen large
+    enough (2^61 - 1 by default) that this equals the exact integer F2.
+    """
+    ch = channel or Channel()
+    field = verifier.field
+    p = field.p
+    d = verifier.d
+    if prover.d != d:
+        return rejected(ch.transcript, "prover/verifier dimension mismatch")
+
+    prover.begin_proof()
+    claimed = None
+    previous_eval = None
+    for j in range(d):
+        message = ch.prover_says(j, "g%d" % (j + 1), prover.round_message())
+        if len(message) != 3:
+            return rejected(
+                ch.transcript,
+                "round %d: message has %d words, degree-2 polynomial needs 3"
+                % (j, len(message)),
+                verifier.space_words,
+            )
+        evals = [v % p for v in message]
+        round_sum = (evals[0] + evals[1]) % p
+        if j == 0:
+            claimed = round_sum
+        elif round_sum != previous_eval:
+            return rejected(
+                ch.transcript,
+                "round %d: g_j(0)+g_j(1) != g_{j-1}(r_{j-1})" % j,
+                verifier.space_words,
+            )
+        previous_eval = evaluate_from_evals(field, evals, verifier.r[j])
+        if j < d - 1:
+            ch.verifier_says(j, "r%d" % (j + 1), [verifier.r[j]])
+            prover.receive_challenge(verifier.r[j])
+
+    lde_value = verifier.lde.value
+    if previous_eval != lde_value * lde_value % p:
+        return rejected(
+            ch.transcript,
+            "final check failed: g_d(r_d) != f_a(r)^2",
+            verifier.space_words,
+        )
+    return accepted(ch.transcript, claimed, verifier.space_words)
+
+
+def self_join_size_protocol(
+    stream,
+    field: PrimeField,
+    rng: Optional[random.Random] = None,
+    channel: Optional[Channel] = None,
+) -> VerificationResult:
+    """Convenience end-to-end run over a :class:`repro.streams.Stream`."""
+    rng = rng or random.Random(0)
+    verifier = F2Verifier(field, stream.u, rng=rng)
+    prover = F2Prover(field, stream.u)
+    for i, delta in stream.updates():
+        verifier.process(i, delta)
+        prover.process(i, delta)
+    return run_f2(prover, verifier, channel)

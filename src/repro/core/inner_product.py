@@ -1,0 +1,222 @@
+"""INNER PRODUCT (join size) — Section 3.2, "Inner product".
+
+Two streams define vectors a and b; the verifier evaluates both LDEs at
+the *same* secret point r, and the prover's round polynomials are sums of
+``f_a · f_b`` (degree 2 per variable, like F2).  The final check is
+``g_d(r_d) = f_a(r) · f_b(r)``.
+
+RANGE-SUM (``repro.core.range_sum``) reuses this machinery with an
+implicit indicator vector b.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.comm.channel import Channel
+from repro.core.base import (
+    VerificationResult,
+    accepted,
+    pow2_dimension,
+    rejected,
+)
+from repro.field.modular import PrimeField
+from repro.field.polynomial import evaluate_from_evals
+from repro.lde.streaming import StreamingLDE
+
+
+class InnerProductProver:
+    """Honest prover holding both frequency vectors; folds both per round."""
+
+    def __init__(self, field: PrimeField, u: int):
+        self.field = field
+        self.u = u
+        self.d = pow2_dimension(u)
+        self.size = 1 << self.d
+        self.freq_a: List[int] = [0] * self.size
+        self.freq_b: List[int] = [0] * self.size
+        self._table_a: Optional[List[int]] = None
+        self._table_b: Optional[List[int]] = None
+
+    def process_a(self, i: int, delta: int) -> None:
+        self.freq_a[i] += delta
+
+    def process_b(self, i: int, delta: int) -> None:
+        self.freq_b[i] += delta
+
+    def process_streams(self, updates_a, updates_b) -> None:
+        for i, delta in updates_a:
+            self.freq_a[i] += delta
+        for i, delta in updates_b:
+            self.freq_b[i] += delta
+
+    def true_answer(self) -> int:
+        return sum(x * y for x, y in zip(self.freq_a, self.freq_b))
+
+    def set_b_vector(self, b: Sequence[int]) -> None:
+        """Install an explicit b (used by RANGE-SUM's query-time indicator)."""
+        if len(b) > self.size:
+            raise ValueError("vector b longer than padded universe")
+        self.freq_b = list(b) + [0] * (self.size - len(b))
+
+    def begin_proof(self) -> None:
+        p = self.field.p
+        self._table_a = [f % p for f in self.freq_a]
+        self._table_b = [f % p for f in self.freq_b]
+
+    def round_message(self) -> List[int]:
+        """[g(0), g(1), g(2)] with g(c) = Σ_t lineA_t(c) · lineB_t(c)."""
+        if self._table_a is None or self._table_b is None:
+            raise RuntimeError("begin_proof() must be called first")
+        p = self.field.p
+        ta = self._table_a
+        tb = self._table_b
+        g0 = 0
+        g1 = 0
+        g2 = 0
+        for t in range(0, len(ta), 2):
+            a_lo, a_hi = ta[t], ta[t + 1]
+            b_lo, b_hi = tb[t], tb[t + 1]
+            g0 += a_lo * b_lo
+            g1 += a_hi * b_hi
+            g2 += (2 * a_hi - a_lo) * (2 * b_hi - b_lo)
+        return [g0 % p, g1 % p, g2 % p]
+
+    def receive_challenge(self, r: int) -> None:
+        if self._table_a is None or self._table_b is None:
+            raise RuntimeError("begin_proof() must be called first")
+        p = self.field.p
+        one_minus_r = (1 - r) % p
+        ta = self._table_a
+        tb = self._table_b
+        self._table_a = [
+            (one_minus_r * ta[t] + r * ta[t + 1]) % p
+            for t in range(0, len(ta), 2)
+        ]
+        self._table_b = [
+            (one_minus_r * tb[t] + r * tb[t + 1]) % p
+            for t in range(0, len(tb), 2)
+        ]
+
+
+class InnerProductVerifier:
+    """Tracks LDEs of both streams at the same secret point (2d+2 words)."""
+
+    def __init__(
+        self,
+        field: PrimeField,
+        u: int,
+        rng: Optional[random.Random] = None,
+        point: Optional[Sequence[int]] = None,
+    ):
+        self.field = field
+        self.u = u
+        self.d = pow2_dimension(u)
+        self.size = 1 << self.d
+        if point is None:
+            if rng is None:
+                rng = random.Random()
+            point = field.rand_vector(rng, self.d)
+        self.lde_a = StreamingLDE(field, self.size, ell=2, point=point)
+        self.lde_b = StreamingLDE(field, self.size, ell=2, point=point)
+        self.r = self.lde_a.point
+
+    def process_a(self, i: int, delta: int) -> None:
+        if not 0 <= i < self.u:
+            raise ValueError("key %d outside universe [0, %d)" % (i, self.u))
+        self.lde_a.update(i, delta)
+
+    def process_b(self, i: int, delta: int) -> None:
+        if not 0 <= i < self.u:
+            raise ValueError("key %d outside universe [0, %d)" % (i, self.u))
+        self.lde_b.update(i, delta)
+
+    def expected_final_value(self) -> int:
+        return self.lde_a.value * self.lde_b.value % self.field.p
+
+    @property
+    def space_words(self) -> int:
+        # r is shared between the two LDEs: d + two running values + checks.
+        return self.d + 2 + 1 + 1 + 3
+
+
+def run_inner_product(
+    prover: InnerProductProver,
+    verifier: InnerProductVerifier,
+    channel: Optional[Channel] = None,
+    expected_final: Optional[int] = None,
+) -> VerificationResult:
+    """Run the d-round inner-product protocol.
+
+    ``expected_final`` overrides the final-check target (RANGE-SUM passes
+    ``f_a(r) · f_b(r)`` with its O(log² u)-computed ``f_b(r)``).
+    """
+    ch = channel or Channel()
+    field = verifier.field
+    p = field.p
+    d = verifier.d
+    if prover.d != d:
+        return rejected(ch.transcript, "prover/verifier dimension mismatch")
+
+    prover.begin_proof()
+    claimed = None
+    previous_eval = None
+    for j in range(d):
+        message = ch.prover_says(j, "g%d" % (j + 1), prover.round_message())
+        if len(message) != 3:
+            return rejected(
+                ch.transcript,
+                "round %d: message has %d words, degree-2 polynomial needs 3"
+                % (j, len(message)),
+                verifier.space_words,
+            )
+        evals = [v % p for v in message]
+        round_sum = (evals[0] + evals[1]) % p
+        if j == 0:
+            claimed = round_sum
+        elif round_sum != previous_eval:
+            return rejected(
+                ch.transcript,
+                "round %d: g_j(0)+g_j(1) != g_{j-1}(r_{j-1})" % j,
+                verifier.space_words,
+            )
+        previous_eval = evaluate_from_evals(field, evals, verifier.r[j])
+        if j < d - 1:
+            ch.verifier_says(j, "r%d" % (j + 1), [verifier.r[j]])
+            prover.receive_challenge(verifier.r[j])
+
+    target = (
+        expected_final
+        if expected_final is not None
+        else verifier.expected_final_value()
+    )
+    if previous_eval != target % p:
+        return rejected(
+            ch.transcript,
+            "final check failed: g_d(r_d) != f_a(r)·f_b(r)",
+            verifier.space_words,
+        )
+    return accepted(ch.transcript, claimed, verifier.space_words)
+
+
+def inner_product_protocol(
+    stream_a,
+    stream_b,
+    field: PrimeField,
+    rng: Optional[random.Random] = None,
+    channel: Optional[Channel] = None,
+) -> VerificationResult:
+    """End-to-end join-size verification for two streams."""
+    if stream_a.u != stream_b.u:
+        raise ValueError("streams must share a universe")
+    rng = rng or random.Random(0)
+    verifier = InnerProductVerifier(field, stream_a.u, rng=rng)
+    prover = InnerProductProver(field, stream_a.u)
+    for i, delta in stream_a.updates():
+        verifier.process_a(i, delta)
+        prover.process_a(i, delta)
+    for i, delta in stream_b.updates():
+        verifier.process_b(i, delta)
+        prover.process_b(i, delta)
+    return run_inner_product(prover, verifier, channel)

@@ -1,0 +1,214 @@
+"""Multiple queries — Section 7, "Multiple Queries".
+
+Re-running a protocol with the *same* randomness after the prover has seen
+it is unsafe.  The paper offers two remedies, both implemented here:
+
+* :func:`run_batch_range_sum` — run many queries *in parallel,
+  round-by-round, with shared randomness* (the 'direct sum' observation):
+  the prover commits all round-j polynomials before r_j is revealed, so
+  each query retains the single-query guarantee.
+* :class:`IndependentCopies` — maintain c independent protocol instances
+  over the stream (c·log u words); each verified query consumes one copy.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.comm.channel import Channel
+from repro.core.base import VerificationResult, accepted, rejected
+from repro.core.range_sum import RangeSumProver, RangeSumVerifier
+from repro.field.modular import PrimeField
+from repro.field.polynomial import evaluate_from_evals
+
+
+def run_batch_range_sum(
+    prover: RangeSumProver,
+    verifier: RangeSumVerifier,
+    queries: Sequence[Tuple[int, int]],
+    channel: Optional[Channel] = None,
+) -> List[VerificationResult]:
+    """Verify many RANGE-SUM queries in lockstep with shared randomness.
+
+    Per round the prover sends one degree-2 polynomial *per query* (all
+    committed before r_j is revealed); the verifier maintains one running
+    check per query.  Communication: 3·|queries| words per round plus the
+    shared challenges.
+    """
+    ch = channel or Channel()
+    field = verifier.field
+    p = field.p
+    d = verifier.d
+
+    for lo, hi in queries:
+        if not 0 <= lo <= hi < verifier.size:
+            raise ValueError("query range [%d, %d] invalid" % (lo, hi))
+
+    # Per-query prover state: a dedicated b-table, one shared a-table.
+    a_table = [f % p for f in prover.freq_a]
+    b_tables: List[List[int]] = []
+    for lo, hi in queries:
+        b = [0] * verifier.size
+        for i in range(lo, hi + 1):
+            b[i] = 1
+        b_tables.append(b)
+    ch.verifier_says(0, "queries", [w for q in queries for w in q])
+
+    claimed: List[Optional[int]] = [None] * len(queries)
+    previous: List[Optional[int]] = [None] * len(queries)
+    failed: List[Optional[str]] = [None] * len(queries)
+
+    for j in range(d):
+        # The prover commits every query's round polynomial first.
+        messages: List[List[int]] = []
+        for b in b_tables:
+            g0 = g1 = g2 = 0
+            for t in range(0, len(a_table), 2):
+                a_lo, a_hi = a_table[t], a_table[t + 1]
+                bb_lo, bb_hi = b[t], b[t + 1]
+                g0 += a_lo * bb_lo
+                g1 += a_hi * bb_hi
+                g2 += (2 * a_hi - a_lo) * (2 * bb_hi - bb_lo)
+            messages.append([g0 % p, g1 % p, g2 % p])
+        for q, msg in enumerate(messages):
+            delivered = ch.prover_says(j, "q%d-g%d" % (q, j + 1), msg)
+            if failed[q] is not None:
+                continue
+            if len(delivered) != 3:
+                failed[q] = "round %d: malformed message" % j
+                continue
+            evals = [v % p for v in delivered]
+            round_sum = (evals[0] + evals[1]) % p
+            if j == 0:
+                claimed[q] = round_sum
+            elif round_sum != previous[q]:
+                failed[q] = "round %d: sum-check invariant violated" % j
+                continue
+            previous[q] = evaluate_from_evals(field, evals, verifier.r[j])
+        # Reveal r_j and fold all tables.
+        if j < d - 1:
+            ch.verifier_says(j, "r%d" % (j + 1), [verifier.r[j]])
+        r = verifier.r[j]
+        one_minus_r = (1 - r) % p
+        a_table = [
+            (one_minus_r * a_table[t] + r * a_table[t + 1]) % p
+            for t in range(0, len(a_table), 2)
+        ]
+        b_tables = [
+            [
+                (one_minus_r * b[t] + r * b[t + 1]) % p
+                for t in range(0, len(b), 2)
+            ]
+            for b in b_tables
+        ]
+
+    results = []
+    fa_at_r = verifier.lde.value
+    for q, (lo, hi) in enumerate(queries):
+        if failed[q] is not None:
+            results.append(rejected(ch.transcript, failed[q],
+                                    verifier.space_words))
+            continue
+        fb_at_r = verifier.indicator_lde_at_r(lo, hi)
+        if previous[q] != fa_at_r * fb_at_r % p:
+            results.append(
+                rejected(
+                    ch.transcript,
+                    "query %d: final check failed" % q,
+                    verifier.space_words,
+                )
+            )
+        else:
+            results.append(accepted(ch.transcript, claimed[q],
+                                    verifier.space_words))
+    return results
+
+
+def amplified_protocol(
+    run_once: Callable[[random.Random], VerificationResult],
+    repetitions: int,
+    rng: Optional[random.Random] = None,
+) -> VerificationResult:
+    """Error amplification by parallel repetition (Definition 1 remark).
+
+    "As soon as we have such a prover, we can reduce probability of error
+    to p by repeating the protocol O(log 1/p) times in parallel, and
+    rejecting if any rejects."  ``run_once`` must execute one independent
+    protocol instance with the given randomness; the combined run accepts
+    iff every instance accepts *and* all instances agree on the value.
+    Costs add up linearly in ``repetitions``; the soundness error is
+    raised to the ``repetitions``-th power.
+
+    (The protocols here can instead shrink the error by enlarging p — the
+    paper's preferred route — but repetition is the generic tool and is
+    what Definition 1's remark describes.)
+    """
+    if repetitions < 1:
+        raise ValueError("need at least one repetition")
+    rng = rng or random.Random()
+    from repro.comm.transcript import Transcript
+
+    merged = Transcript()
+    results = []
+    for _ in range(repetitions):
+        result = run_once(random.Random(rng.getrandbits(64)))
+        results.append(result)
+        merged.messages.extend(result.transcript.messages)
+    space = max(r.verifier_space_words for r in results)
+    for result in results:
+        if not result.accepted:
+            return rejected(
+                merged,
+                "a repetition rejected: %s" % result.reason,
+                space,
+            )
+    values = {repr(r.value) for r in results}
+    if len(values) != 1:
+        return rejected(merged, "repetitions disagree on the answer", space)
+    return accepted(merged, results[0].value, space)
+
+
+class IndependentCopies:
+    """c independent verifier instances over one stream.
+
+    ``verifier_factory(rng)`` builds a fresh streaming verifier;
+    :meth:`take` hands out an unused copy (raising LookupError when
+    exhausted).  Space grows as c · (single-copy space) — "since each copy
+    requires only O(log u) space ... the cost per query is low".
+    """
+
+    def __init__(
+        self,
+        copies: int,
+        verifier_factory: Callable[[random.Random], object],
+        rng: Optional[random.Random] = None,
+    ):
+        if copies < 1:
+            raise ValueError("need at least one copy")
+        rng = rng or random.Random()
+        self._fresh = [
+            verifier_factory(random.Random(rng.getrandbits(64)))
+            for _ in range(copies)
+        ]
+
+    def process(self, i: int, delta: int) -> None:
+        for v in self._fresh:
+            v.process(i, delta)
+
+    def process_stream(self, updates) -> None:
+        for i, delta in updates:
+            self.process(i, delta)
+
+    def take(self):
+        if not self._fresh:
+            raise LookupError("all independent protocol copies were consumed")
+        return self._fresh.pop()
+
+    @property
+    def remaining(self) -> int:
+        return len(self._fresh)
+
+    @property
+    def space_words(self) -> int:
+        return sum(getattr(v, "space_words", 0) for v in self._fresh)

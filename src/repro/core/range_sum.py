@@ -1,0 +1,158 @@
+"""RANGE-SUM — Section 3.2, "Range-sum".
+
+A special case of INNER PRODUCT where b is the indicator of the query
+range ``[qL, qR]``, chosen *after* the stream.  The verifier never builds
+b: it evaluates ``f_b(r)`` in O(log² u) via the canonical-interval
+identity of Section 3.2 (``repro.lde.canonical``), then runs the standard
+inner-product rounds against a prover who materialises b at query time.
+
+RANGE-COUNT (all values 1) is the same protocol over unit updates and is
+used by SUB-VECTOR to pre-verify the answer size k (Appendix B.2 remark).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.comm.channel import Channel
+from repro.core.base import VerificationResult, pow2_dimension, rejected
+from repro.core.inner_product import (
+    InnerProductProver,
+    InnerProductVerifier,
+    run_inner_product,
+)
+from repro.field.modular import PrimeField
+from repro.lde.canonical import range_indicator_eval
+from repro.lde.streaming import StreamingLDE
+
+
+class RangeSumProver(InnerProductProver):
+    """Stores the (key → value) vector a; builds b when the query arrives."""
+
+    def process(self, i: int, delta: int) -> None:
+        self.process_a(i, delta)
+
+    def process_stream(self, updates) -> None:
+        for i, delta in updates:
+            self.process_a(i, delta)
+
+    def receive_query(self, lo: int, hi: int) -> None:
+        if not 0 <= lo <= hi < self.size:
+            raise ValueError("query range [%d, %d] invalid" % (lo, hi))
+        b = [0] * self.size
+        for i in range(lo, hi + 1):
+            b[i] = 1
+        self.set_b_vector(b)
+
+    def true_answer(self, lo: int, hi: int) -> int:
+        return sum(self.freq_a[lo : hi + 1])
+
+
+class RangeSumVerifier:
+    """Streams only a; computes ``f_b(r)`` for the query range on demand."""
+
+    def __init__(
+        self,
+        field: PrimeField,
+        u: int,
+        rng: Optional[random.Random] = None,
+        point: Optional[Sequence[int]] = None,
+    ):
+        self.field = field
+        self.u = u
+        self.d = pow2_dimension(u)
+        self.size = 1 << self.d
+        if point is None:
+            if rng is None:
+                rng = random.Random()
+            point = field.rand_vector(rng, self.d)
+        self.lde = StreamingLDE(field, self.size, ell=2, point=point)
+        self.r = self.lde.point
+
+    def process(self, i: int, delta: int) -> None:
+        if not 0 <= i < self.u:
+            raise ValueError("key %d outside universe [0, %d)" % (i, self.u))
+        self.lde.update(i, delta)
+
+    def process_stream(self, updates) -> None:
+        for i, delta in updates:
+            self.process(i, delta)
+
+    def indicator_lde_at_r(self, lo: int, hi: int) -> int:
+        """``f_b(r)`` in O(log² u) — no pass over the data."""
+        return range_indicator_eval(self.field, self.d, self.r, lo, hi)
+
+    @property
+    def space_words(self) -> int:
+        return self.d + 1 + 1 + 1 + 3
+
+
+def run_range_sum(
+    prover: RangeSumProver,
+    verifier: RangeSumVerifier,
+    lo: int,
+    hi: int,
+    channel: Optional[Channel] = None,
+) -> VerificationResult:
+    """Verify ``Σ_{lo <= i <= hi} a_i``.
+
+    The query is sent to the prover first (2 words from the verifier), then
+    the inner-product rounds run with the final check target
+    ``f_a(r) · f_b(r)``.
+    """
+    ch = channel or Channel()
+    field = verifier.field
+    if not 0 <= lo <= hi < verifier.size:
+        return rejected(ch.transcript, "query range [%d, %d] invalid" % (lo, hi))
+    ch.verifier_says(0, "query", [lo, hi])
+    prover.receive_query(lo, hi)
+
+    fb_at_r = verifier.indicator_lde_at_r(lo, hi)
+    expected_final = verifier.lde.value * fb_at_r % field.p
+
+    # Adapt the RangeSumVerifier into the inner-product driver: same r,
+    # f_a(r) from the stream, f_b(r) from the canonical intervals.
+    inner_verifier = InnerProductVerifier(
+        field, verifier.u, point=verifier.r
+    )
+    inner_verifier.lde_a.value = verifier.lde.value
+    inner_verifier.lde_b.value = fb_at_r
+    return run_inner_product(
+        prover, inner_verifier, channel=ch, expected_final=expected_final
+    )
+
+
+def range_sum_protocol(
+    stream,
+    lo: int,
+    hi: int,
+    field: PrimeField,
+    rng: Optional[random.Random] = None,
+    channel: Optional[Channel] = None,
+) -> VerificationResult:
+    """End-to-end RANGE-SUM over a :class:`repro.streams.Stream`."""
+    rng = rng or random.Random(0)
+    verifier = RangeSumVerifier(field, stream.u, rng=rng)
+    prover = RangeSumProver(field, stream.u)
+    for i, delta in stream.updates():
+        verifier.process(i, delta)
+        prover.process_a(i, delta)
+    return run_range_sum(prover, verifier, lo, hi, channel)
+
+
+def range_count_protocol(
+    stream,
+    lo: int,
+    hi: int,
+    field: PrimeField,
+    rng: Optional[random.Random] = None,
+    channel: Optional[Channel] = None,
+) -> VerificationResult:
+    """RANGE-COUNT: number of stream items (with multiplicity) in the range.
+
+    Identical to RANGE-SUM because the stream already carries unit deltas
+    for item-style inputs; provided as a named operation because SUB-VECTOR
+    uses it to bound the answer size k before reporting.
+    """
+    return range_sum_protocol(stream, lo, hi, field, rng, channel)

@@ -1,0 +1,259 @@
+"""Reporting queries on top of SUB-VECTOR (Section 4.2, Corollary 1).
+
+* RANGE QUERY — the sub-vector itself (unit updates per item).
+* INDEX — a range query with ``qL = qR = q``.
+* DICTIONARY — values stored shifted by +1 so a retrieved 0 means
+  "not found" (pair with :class:`repro.streams.KVStreamEncoder`).
+* PREDECESSOR / SUCCESSOR — the prover claims a key q'; the verifier runs
+  SUB-VECTOR on ``[q', q]`` (resp. ``[q, q']``) and checks that q' is the
+  only present key, which costs O(log u) words since the claimed
+  sub-vector has a single nonzero entry.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.comm.channel import Channel
+from repro.core.base import VerificationResult, accepted, rejected
+from repro.core.subvector import (
+    SubVectorAnswer,
+    SubVectorProver,
+    TreeHashVerifier,
+    run_subvector,
+)
+from repro.field.modular import PrimeField
+
+#: Claim encoding for maybe-absent keys: (found flag, key).
+_NOT_FOUND = (0, 0)
+
+
+@dataclass(frozen=True)
+class DictionaryAnswer:
+    """Verified DICTIONARY result."""
+
+    key: int
+    found: bool
+    value: Optional[int]
+
+
+class ReportingProver(SubVectorProver):
+    """SUB-VECTOR prover extended with the query-time claims the reporting
+    protocols require (predecessor/successor positions)."""
+
+    def claim_predecessor(self, q: int) -> Tuple[int, int]:
+        for i in range(min(q, self.size - 1), -1, -1):
+            if self.freq[i] % self.field.p != 0:
+                return (1, i)
+        return _NOT_FOUND
+
+    def claim_successor(self, q: int) -> Tuple[int, int]:
+        for i in range(max(q, 0), self.size):
+            if self.freq[i] % self.field.p != 0:
+                return (1, i)
+        return _NOT_FOUND
+
+
+def range_query(
+    prover: SubVectorProver,
+    verifier: TreeHashVerifier,
+    lo: int,
+    hi: int,
+    channel: Optional[Channel] = None,
+) -> VerificationResult:
+    """RANGE QUERY: all present keys (with multiplicities) in ``[lo, hi]``."""
+    return run_subvector(prover, verifier, lo, hi, channel)
+
+
+def index_query(
+    prover: SubVectorProver,
+    verifier: TreeHashVerifier,
+    q: int,
+    channel: Optional[Channel] = None,
+) -> VerificationResult:
+    """INDEX: the verified value ``a_q`` (0 when the key is absent)."""
+    result = run_subvector(prover, verifier, q, q, channel)
+    if not result.accepted:
+        return result
+    answer: SubVectorAnswer = result.value
+    value = answer.as_dict().get(q, 0)
+    return VerificationResult(
+        accepted=True,
+        value=value,
+        transcript=result.transcript,
+        verifier_space_words=result.verifier_space_words,
+    )
+
+
+def dictionary_get(
+    prover: SubVectorProver,
+    verifier: TreeHashVerifier,
+    key: int,
+    channel: Optional[Channel] = None,
+) -> VerificationResult:
+    """DICTIONARY get with the +1 value encoding of Section 4.2."""
+    result = index_query(prover, verifier, key, channel)
+    if not result.accepted:
+        return result
+    freq = result.value
+    if freq == 0:
+        answer = DictionaryAnswer(key=key, found=False, value=None)
+    else:
+        answer = DictionaryAnswer(key=key, found=True, value=freq - 1)
+    return VerificationResult(
+        accepted=True,
+        value=answer,
+        transcript=result.transcript,
+        verifier_space_words=result.verifier_space_words,
+    )
+
+
+def predecessor_query(
+    prover: ReportingProver,
+    verifier: TreeHashVerifier,
+    q: int,
+    channel: Optional[Channel] = None,
+) -> VerificationResult:
+    """PREDECESSOR: largest present key ``<= q``.
+
+    The prover claims q'; SUB-VECTOR over [q', q] then proves both that q'
+    is present and that nothing else in (q', q] is.  A "none" claim is
+    checked with SUB-VECTOR over [0, q] expecting an empty answer.
+    """
+    ch = channel or Channel()
+    flag, claimed = ch.prover_says(0, "claim", prover.claim_predecessor(q))[:2]
+    if flag == 0:
+        result = run_subvector(prover, verifier, 0, min(q, verifier.size - 1), ch)
+        if not result.accepted:
+            return result
+        if result.value.entries:
+            return rejected(
+                ch.transcript,
+                "prover claimed no predecessor but keys are present",
+                result.verifier_space_words,
+            )
+        return VerificationResult(
+            accepted=True,
+            value=None,
+            transcript=ch.transcript,
+            verifier_space_words=result.verifier_space_words,
+        )
+    if not 0 <= claimed <= q or claimed >= verifier.size:
+        return rejected(ch.transcript, "claimed predecessor out of range")
+    result = run_subvector(prover, verifier, claimed, min(q, verifier.size - 1), ch)
+    if not result.accepted:
+        return result
+    entries = result.value.entries
+    if len(entries) != 1 or entries[0][0] != claimed:
+        return rejected(
+            ch.transcript,
+            "claimed predecessor %d is not the largest present key <= %d"
+            % (claimed, q),
+            result.verifier_space_words,
+        )
+    return VerificationResult(
+        accepted=True,
+        value=claimed,
+        transcript=ch.transcript,
+        verifier_space_words=result.verifier_space_words,
+    )
+
+
+def successor_query(
+    prover: ReportingProver,
+    verifier: TreeHashVerifier,
+    q: int,
+    channel: Optional[Channel] = None,
+) -> VerificationResult:
+    """SUCCESSOR: smallest present key ``>= q`` (symmetric to predecessor)."""
+    ch = channel or Channel()
+    flag, claimed = ch.prover_says(0, "claim", prover.claim_successor(q))[:2]
+    hi = verifier.size - 1
+    if flag == 0:
+        result = run_subvector(prover, verifier, max(q, 0), hi, ch)
+        if not result.accepted:
+            return result
+        if result.value.entries:
+            return rejected(
+                ch.transcript,
+                "prover claimed no successor but keys are present",
+                result.verifier_space_words,
+            )
+        return VerificationResult(
+            accepted=True,
+            value=None,
+            transcript=ch.transcript,
+            verifier_space_words=result.verifier_space_words,
+        )
+    if not q <= claimed <= hi:
+        return rejected(ch.transcript, "claimed successor out of range")
+    result = run_subvector(prover, verifier, max(q, 0), claimed, ch)
+    if not result.accepted:
+        return result
+    entries = result.value.entries
+    if len(entries) != 1 or entries[0][0] != claimed:
+        return rejected(
+            ch.transcript,
+            "claimed successor %d is not the smallest present key >= %d"
+            % (claimed, q),
+            result.verifier_space_words,
+        )
+    return VerificationResult(
+        accepted=True,
+        value=claimed,
+        transcript=ch.transcript,
+        verifier_space_words=result.verifier_space_words,
+    )
+
+
+def counted_range_query(
+    prover: SubVectorProver,
+    tree_verifier: TreeHashVerifier,
+    count_prover,
+    count_verifier,
+    lo: int,
+    hi: int,
+    channel: Optional[Channel] = None,
+) -> VerificationResult:
+    """RANGE QUERY with a pre-verified answer bound (Appendix B.2 remark).
+
+    First verifies the range count S = Σ_{lo..hi} a_i with the RANGE-SUM
+    protocol (``count_prover``/``count_verifier`` from
+    :mod:`repro.core.range_sum`, fed the same stream), then runs
+    SUB-VECTOR refusing more than S entries — since every reported entry
+    has frequency >= 1, the number of distinct entries cannot exceed S.
+    This guarantees O(log u + k) communication against any prover.
+    """
+    from repro.core.range_sum import run_range_sum
+
+    ch = channel or Channel()
+    count_result = run_range_sum(count_prover, count_verifier, lo, hi, ch)
+    if not count_result.accepted:
+        return rejected(
+            ch.transcript,
+            "range-count pre-check rejected: %s" % count_result.reason,
+        )
+    bound = count_result.value
+    return run_subvector(prover, tree_verifier, lo, hi, ch,
+                         max_entries=bound)
+
+
+def build_reporting_session(
+    stream,
+    field: PrimeField,
+    rng: Optional[random.Random] = None,
+) -> Tuple[ReportingProver, TreeHashVerifier]:
+    """Feed one stream to a fresh (prover, verifier) pair ready for queries.
+
+    Each returned pair supports *one* verified query; for repeated queries
+    with fresh randomness see :mod:`repro.core.multiquery`.
+    """
+    rng = rng or random.Random(0)
+    verifier = TreeHashVerifier(field, stream.u, rng=rng)
+    prover = ReportingProver(field, stream.u)
+    for i, delta in stream.updates():
+        verifier.process(i, delta)
+        prover.process(i, delta)
+    return prover, verifier

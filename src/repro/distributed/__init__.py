@@ -1,0 +1,5 @@
+"""Distributed (Map-Reduce-style) provers — Section 7 future work."""
+
+from repro.distributed.sharded import DistributedF2Prover, F2ShardWorker
+
+__all__ = ["DistributedF2Prover", "F2ShardWorker"]

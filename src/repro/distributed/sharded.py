@@ -1,0 +1,179 @@
+"""A distributed (Map-Reduce-style) prover — Section 7, "Distributed
+Computation".
+
+The paper observes that the prover's message in each round "can be
+written as the inner product of the input data with a function defined by
+the values of r_j revealed so far", so the prover parallelises naturally:
+each worker holds a shard of the key space, folds it locally, and emits a
+partial round polynomial; the coordinator's reduce step is a 3-word sum.
+The paper leaves demonstrating this empirically as future work — this
+module is that demonstration (simulated workers, deterministic).
+
+Sharding uses the *high* bits of the key, so a shard is a contiguous
+block of leaves and folding never crosses shard boundaries until the
+table is smaller than the worker count, at which point the coordinator
+takes over (the last few rounds are O(#workers) anyway).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.base import pow2_dimension
+from repro.field.modular import PrimeField
+
+
+class F2ShardWorker:
+    """One mapper: a contiguous shard of the frequency vector."""
+
+    def __init__(self, field: PrimeField, shard_index: int, shard_size: int):
+        self.field = field
+        self.shard_index = shard_index
+        self.shard_size = shard_size
+        self.base = shard_index * shard_size
+        self.freq: List[int] = [0] * shard_size
+        self._table: Optional[List[int]] = None
+
+    def process(self, i: int, delta: int) -> None:
+        self.freq[i - self.base] += delta
+
+    def begin_proof(self) -> None:
+        p = self.field.p
+        self._table = [f % p for f in self.freq]
+
+    def partial_message(self) -> Tuple[int, int, int]:
+        """This shard's contribution to (g(0), g(1), g(2))."""
+        if self._table is None:
+            raise RuntimeError("begin_proof() must be called first")
+        p = self.field.p
+        g0 = g1 = g2 = 0
+        for t in range(0, len(self._table), 2):
+            lo = self._table[t]
+            hi = self._table[t + 1]
+            g0 += lo * lo
+            g1 += hi * hi
+            at2 = 2 * hi - lo
+            g2 += at2 * at2
+        return (g0 % p, g1 % p, g2 % p)
+
+    def fold(self, r: int) -> None:
+        if self._table is None:
+            raise RuntimeError("begin_proof() must be called first")
+        p = self.field.p
+        table = self._table
+        one_minus_r = (1 - r) % p
+        self._table = [
+            (one_minus_r * table[t] + r * table[t + 1]) % p
+            for t in range(0, len(table), 2)
+        ]
+
+    @property
+    def residual(self) -> List[int]:
+        """The fully folded shard (length 1) handed to the coordinator."""
+        if self._table is None or len(self._table) != 1:
+            raise RuntimeError("shard not fully folded yet")
+        return list(self._table)
+
+
+class DistributedF2Prover:
+    """Coordinator + workers; a drop-in replacement for ``F2Prover``.
+
+    Produces messages identical to the centralised prover (tested), so
+    the standard :func:`repro.core.f2.run_f2` verifier accepts it
+    unchanged.  ``num_workers`` must be a power of two dividing the
+    padded universe.
+    """
+
+    def __init__(self, field: PrimeField, u: int, num_workers: int = 4):
+        if num_workers < 1 or num_workers & (num_workers - 1):
+            raise ValueError("worker count must be a power of two")
+        self.field = field
+        self.u = u
+        self.d = pow2_dimension(u)
+        self.size = 1 << self.d
+        if num_workers * 2 > self.size:
+            raise ValueError(
+                "each worker needs a shard of at least two entries: "
+                "%d workers over a padded universe of %d"
+                % (num_workers, self.size)
+            )
+        self.num_workers = num_workers
+        shard_size = self.size // num_workers
+        self.workers = [
+            F2ShardWorker(field, w, shard_size) for w in range(num_workers)
+        ]
+        self._shard_bits = shard_size.bit_length() - 1
+        # After the workers fold their shards to single values, the
+        # coordinator runs the last log(num_workers) rounds locally.
+        self._coordinator_table: Optional[List[int]] = None
+        self._rounds_done = 0
+
+    def _worker_for(self, i: int) -> F2ShardWorker:
+        return self.workers[i >> self._shard_bits]
+
+    def process(self, i: int, delta: int) -> None:
+        if not 0 <= i < self.u:
+            raise ValueError("key %d outside universe [0, %d)" % (i, self.u))
+        self._worker_for(i).process(i, delta)
+
+    def process_stream(self, updates) -> None:
+        for i, delta in updates:
+            self.process(i, delta)
+
+    def true_answer(self) -> int:
+        return sum(
+            f * f for worker in self.workers for f in worker.freq
+        )
+
+    # -- the F2Prover protocol interface ------------------------------------
+
+    def begin_proof(self) -> None:
+        for worker in self.workers:
+            worker.begin_proof()
+        self._coordinator_table = None
+        self._rounds_done = 0
+
+    def round_message(self) -> List[int]:
+        p = self.field.p
+        if self._coordinator_table is not None:
+            table = self._coordinator_table
+            g0 = g1 = g2 = 0
+            for t in range(0, len(table), 2):
+                lo, hi = table[t], table[t + 1]
+                g0 += lo * lo
+                g1 += hi * hi
+                at2 = 2 * hi - lo
+                g2 += at2 * at2
+            return [g0 % p, g1 % p, g2 % p]
+        # Map: each worker computes a partial; reduce: 3-word sums.
+        g0 = g1 = g2 = 0
+        for worker in self.workers:
+            w0, w1, w2 = worker.partial_message()
+            g0 += w0
+            g1 += w1
+            g2 += w2
+        return [g0 % p, g1 % p, g2 % p]
+
+    def receive_challenge(self, r: int) -> None:
+        p = self.field.p
+        if self._coordinator_table is not None:
+            table = self._coordinator_table
+            one_minus_r = (1 - r) % p
+            self._coordinator_table = [
+                (one_minus_r * table[t] + r * table[t + 1]) % p
+                for t in range(0, len(table), 2)
+            ]
+            return
+        for worker in self.workers:
+            worker.fold(r)
+        self._rounds_done += 1
+        if self._rounds_done == self._shard_bits:
+            # Shards are single values now: gather them at the coordinator.
+            self._coordinator_table = [
+                worker.residual[0] for worker in self.workers
+            ]
+
+    @property
+    def max_worker_keys(self) -> int:
+        """Peak per-worker storage — the Map-Reduce balance statistic."""
+        return max(len(w.freq) for w in self.workers)

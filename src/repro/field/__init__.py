@@ -1,0 +1,26 @@
+"""Finite-field substrate: primes, ``Z_p`` arithmetic, polynomials."""
+
+from repro.field.modular import DEFAULT_FIELD, FieldMismatchError, PrimeField
+from repro.field.polynomial import Polynomial, evaluate_from_evals
+from repro.field.primes import (
+    MERSENNE_61,
+    MERSENNE_127,
+    bertrand_prime,
+    field_prime_for,
+    is_prime,
+    next_prime,
+)
+
+__all__ = [
+    "DEFAULT_FIELD",
+    "FieldMismatchError",
+    "MERSENNE_61",
+    "MERSENNE_127",
+    "Polynomial",
+    "PrimeField",
+    "bertrand_prime",
+    "evaluate_from_evals",
+    "field_prime_for",
+    "is_prime",
+    "next_prime",
+]

@@ -1,0 +1,54 @@
+"""GKR ("Interactive Proofs for Muggles") with a streaming verifier."""
+
+from repro.gkr.circuits import (
+    ADD,
+    MUL,
+    Gate,
+    LayeredCircuit,
+    f2_circuit,
+    inner_product_circuit,
+    num_vars,
+    sum_circuit,
+    sum_tree_layers,
+)
+from repro.gkr.mle import (
+    eq_eval,
+    line_points,
+    mle_eval,
+    pad_to_power_of_two,
+    restrict_to_line,
+)
+from repro.gkr.protocol import (
+    GKRCoins,
+    GKRProver,
+    StreamingGKRVerifier,
+    gkr_protocol,
+    run_gkr,
+    wiring_mle_at,
+)
+from repro.gkr.sumcheck import boolean_sum, round_message
+
+__all__ = [
+    "ADD",
+    "Gate",
+    "GKRCoins",
+    "GKRProver",
+    "LayeredCircuit",
+    "MUL",
+    "StreamingGKRVerifier",
+    "boolean_sum",
+    "eq_eval",
+    "f2_circuit",
+    "gkr_protocol",
+    "inner_product_circuit",
+    "line_points",
+    "mle_eval",
+    "num_vars",
+    "pad_to_power_of_two",
+    "restrict_to_line",
+    "round_message",
+    "run_gkr",
+    "sum_circuit",
+    "sum_tree_layers",
+    "wiring_mle_at",
+]

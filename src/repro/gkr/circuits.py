@@ -1,0 +1,135 @@
+"""Layered arithmetic circuits for the GKR protocol (Appendix A).
+
+A :class:`LayeredCircuit` has gate layers 0..L-1 (layer 0 = output) over an
+input layer of power-of-two size; every gate is fan-in-2 ``add`` or ``mul``
+reading two values from the layer below.  These are the circuits the
+"Interactive Proofs for Muggles" construction (Theorem 3) delegates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.field.modular import PrimeField
+
+ADD = "add"
+MUL = "mul"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A fan-in-2 gate; ``left``/``right`` index the layer below."""
+
+    op: str
+    left: int
+    right: int
+
+    def __post_init__(self):
+        if self.op not in (ADD, MUL):
+            raise ValueError("unknown gate op %r" % (self.op,))
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and n & (n - 1) == 0
+
+
+def num_vars(size: int) -> int:
+    """log2 of a power-of-two layer size (0 for a single value)."""
+    if not _is_power_of_two(size):
+        raise ValueError("layer size %d is not a power of two" % size)
+    return size.bit_length() - 1
+
+
+class LayeredCircuit:
+    """Fan-in-2 layered circuit; ``layers[0]`` produces the outputs."""
+
+    def __init__(self, layers: Sequence[Sequence[Gate]], input_size: int):
+        if not _is_power_of_two(input_size):
+            raise ValueError("input size must be a power of two")
+        if not layers:
+            raise ValueError("circuit needs at least one gate layer")
+        self.layers: List[List[Gate]] = [list(layer) for layer in layers]
+        self.input_size = input_size
+        for i, layer in enumerate(self.layers):
+            if not _is_power_of_two(len(layer)):
+                raise ValueError("layer %d size is not a power of two" % i)
+            below = (
+                len(self.layers[i + 1])
+                if i + 1 < len(self.layers)
+                else input_size
+            )
+            for gate in layer:
+                if not (0 <= gate.left < below and 0 <= gate.right < below):
+                    raise ValueError(
+                        "layer %d gate wires out of range [0, %d)" % (i, below)
+                    )
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+    def layer_size(self, i: int) -> int:
+        """Size of value layer i (i = depth means the input layer)."""
+        if i == self.depth:
+            return self.input_size
+        return len(self.layers[i])
+
+    def evaluate(self, field: PrimeField, inputs: Sequence[int]) -> List[List[int]]:
+        """All layer values; ``values[0]`` are outputs, ``values[depth]``
+        the (reduced) inputs."""
+        if len(inputs) != self.input_size:
+            raise ValueError(
+                "expected %d inputs, got %d" % (self.input_size, len(inputs))
+            )
+        p = field.p
+        values: List[List[int]] = [[v % p for v in inputs]]
+        for layer in reversed(self.layers):
+            below = values[0]
+            out = []
+            for gate in layer:
+                a, b = below[gate.left], below[gate.right]
+                out.append((a + b) % p if gate.op == ADD else a * b % p)
+            values.insert(0, out)
+        return values
+
+    def output(self, field: PrimeField, inputs: Sequence[int]) -> List[int]:
+        return self.evaluate(field, inputs)[0]
+
+
+def sum_tree_layers(width: int) -> List[List[Gate]]:
+    """Binary add-tree layers reducing ``width`` values to one."""
+    layers: List[List[Gate]] = []
+    size = width
+    while size > 1:
+        size //= 2
+        layers.insert(
+            0, [Gate(ADD, 2 * t, 2 * t + 1) for t in range(size)]
+        )
+    return layers
+
+
+def f2_circuit(input_size: int) -> LayeredCircuit:
+    """The F2 circuit: square every input, then a binary sum tree.
+
+    Depth Θ(log u) — the smallest possible for F2 (Section 3.1 remark), so
+    this is the circuit behind the (log² u, log² u) Theorem 3 comparison.
+    """
+    square_layer = [Gate(MUL, i, i) for i in range(input_size)]
+    return LayeredCircuit(
+        sum_tree_layers(input_size) + [square_layer], input_size
+    )
+
+
+def sum_circuit(input_size: int) -> LayeredCircuit:
+    """F1: just the binary sum tree."""
+    return LayeredCircuit(sum_tree_layers(input_size), input_size)
+
+
+def inner_product_circuit(input_size: int) -> LayeredCircuit:
+    """Inner product of the two halves of the input vector."""
+    if input_size < 2 or input_size % 2:
+        raise ValueError("inner product needs an even input size >= 2")
+    half = input_size // 2
+    mul_layer = [Gate(MUL, i, half + i) for i in range(half)]
+    return LayeredCircuit(sum_tree_layers(half) + [mul_layer], input_size)

@@ -1,0 +1,84 @@
+"""Multilinear extensions over the boolean hypercube.
+
+``mle_eval`` evaluates the unique multilinear polynomial agreeing with a
+value table on {0,1}^b at an arbitrary field point, by successive folding
+(O(2^b) field operations).  Variable 0 is the least-significant bit of the
+table index, matching the digit convention of :mod:`repro.lde`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.field.modular import PrimeField
+
+
+def pad_to_power_of_two(values: Sequence[int]) -> List[int]:
+    out = list(values)
+    size = 1
+    while size < len(out):
+        size *= 2
+    out.extend([0] * (size - len(out)))
+    return out if out else [0]
+
+
+def mle_eval(field: PrimeField, values: Sequence[int], point: Sequence[int]) -> int:
+    """Evaluate the MLE of ``values`` (length 2^b) at ``point`` (length b)."""
+    table = pad_to_power_of_two(values)
+    if len(table) != 1 << len(point):
+        raise ValueError(
+            "table of %d values needs %d variables, got %d"
+            % (len(table), (len(table) - 1).bit_length(), len(point))
+        )
+    p = field.p
+    for r in point:  # fold out the least-significant variable each pass
+        one_minus_r = (1 - r) % p
+        table = [
+            (one_minus_r * table[t] + r * table[t + 1]) % p
+            for t in range(0, len(table), 2)
+        ]
+    return table[0] % p
+
+
+def eq_eval(field: PrimeField, index: int, nbits: int, point: Sequence[int]) -> int:
+    """The boolean-indicator MLE: eq(point, bits(index)) in O(b)."""
+    if len(point) != nbits:
+        raise ValueError("point has %d coords, expected %d" % (len(point), nbits))
+    p = field.p
+    acc = 1
+    for j in range(nbits):
+        r = point[j]
+        if (index >> j) & 1:
+            acc = acc * r % p
+        else:
+            acc = acc * (1 - r) % p
+    return acc
+
+
+def line_points(
+    field: PrimeField, start: Sequence[int], end: Sequence[int], t: int
+) -> List[int]:
+    """The point ℓ(t) on the line with ℓ(0)=start, ℓ(1)=end."""
+    if len(start) != len(end):
+        raise ValueError("line endpoints have different dimensions")
+    p = field.p
+    return [(a + t * (b - a)) % p for a, b in zip(start, end)]
+
+
+def restrict_to_line(
+    field: PrimeField,
+    values: Sequence[int],
+    start: Sequence[int],
+    end: Sequence[int],
+    num_points: int,
+) -> List[int]:
+    """Evaluations of the MLE along the line at t = 0..num_points-1.
+
+    The restriction of a b-variate multilinear polynomial to a line has
+    degree <= b, so ``num_points = b + 1`` determines it (the prover's
+    line-reduction message in GKR).
+    """
+    return [
+        mle_eval(field, values, line_points(field, start, end, t))
+        for t in range(num_points)
+    ]

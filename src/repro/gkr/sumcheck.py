@@ -1,0 +1,58 @@
+"""A generic sum-check driver over closures.
+
+Used by the GKR protocol, where the summand is the layer polynomial
+``add̃(z,x,y)(W(x)+W(y)) + mult̃(z,x,y)W(x)W(y)``.  The specialised
+protocols in :mod:`repro.core` implement their own table-folding provers
+for speed; this generic prover recomputes sums by brute force, which is
+fine for the circuit sizes GKR is exercised at (and keeps it obviously
+correct as a reference).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.field.modular import PrimeField
+
+#: A multivariate polynomial presented as an evaluation closure.
+Evaluator = Callable[[Sequence[int]], int]
+
+
+def boolean_sum(field: PrimeField, f: Evaluator, num_vars: int) -> int:
+    """Σ over {0,1}^num_vars of f — the quantity sum-check certifies."""
+    p = field.p
+    total = 0
+    for mask in range(1 << num_vars):
+        point = [(mask >> j) & 1 for j in range(num_vars)]
+        total += f(point)
+    return total % p
+
+
+def round_message(
+    field: PrimeField,
+    f: Evaluator,
+    num_vars: int,
+    prefix: Sequence[int],
+    degree: int,
+) -> List[int]:
+    """Evaluations [g_j(0), ..., g_j(degree)] of the j-th round polynomial
+
+        g_j(c) = Σ_{suffix ∈ {0,1}^{num_vars-j-1}} f(prefix, c, suffix)
+
+    where j = len(prefix).
+    """
+    p = field.p
+    j = len(prefix)
+    remaining = num_vars - j - 1
+    if remaining < 0:
+        raise ValueError("prefix longer than the variable count")
+    out = []
+    for c in range(degree + 1):
+        acc = 0
+        for mask in range(1 << remaining):
+            point = list(prefix) + [c] + [
+                (mask >> t) & 1 for t in range(remaining)
+            ]
+            acc += f(point)
+        out.append(acc % p)
+    return out

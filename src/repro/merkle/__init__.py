@@ -1,0 +1,17 @@
+"""Merkle hash tree (prior-work comparator, Appendix A)."""
+
+from repro.merkle.tree import (
+    MerkleProof,
+    MerkleTree,
+    encode_value,
+    verify_proof,
+    verify_value,
+)
+
+__all__ = [
+    "MerkleProof",
+    "MerkleTree",
+    "encode_value",
+    "verify_proof",
+    "verify_value",
+]

@@ -1,0 +1,124 @@
+"""A Merkle hash tree — the prior-work commitment primitive.
+
+Appendix A's Universal Arguments commit to a PCP with a Merkle tree, and
+the related-work discussion (Li et al. [19], Merkle [20]) uses Merkle
+trees for stream authentication with a *linear-space* party.  This module
+provides the classic construction (SHA-256) so the experiments can
+contrast it with the paper's algebraic hash tree: building the root over a
+stream of position updates requires materialising the leaves (O(u) space),
+versus O(log u) words for the Section 4 tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _hash_leaf(data: bytes) -> bytes:
+    return hashlib.sha256(_LEAF_PREFIX + data).digest()
+
+
+def _hash_node(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(_NODE_PREFIX + left + right).digest()
+
+
+def encode_value(value: int) -> bytes:
+    """Canonical leaf encoding for integer values (two's-complement-free:
+    sign byte + magnitude)."""
+    sign = b"-" if value < 0 else b"+"
+    magnitude = abs(value)
+    return sign + magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1,
+                                     "big")
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Authentication path for one leaf."""
+
+    index: int
+    leaf_data: bytes
+    siblings: Tuple[bytes, ...]  # bottom-up
+
+    @property
+    def path_length(self) -> int:
+        return len(self.siblings)
+
+
+class MerkleTree:
+    """Binary SHA-256 Merkle tree over a list of byte-string leaves.
+
+    The builder keeps every level (O(u) space) — that is the point of the
+    comparison with the paper's O(log u)-space algebraic tree.
+    """
+
+    def __init__(self, leaves: Sequence[bytes]):
+        if not leaves:
+            raise ValueError("a Merkle tree needs at least one leaf")
+        size = 1
+        while size < len(leaves):
+            size *= 2
+        padded = list(leaves) + [b""] * (size - len(leaves))
+        self.num_leaves = len(leaves)
+        self.levels: List[List[bytes]] = [[_hash_leaf(d) for d in padded]]
+        self._leaf_data = padded
+        while len(self.levels[-1]) > 1:
+            lower = self.levels[-1]
+            self.levels.append(
+                [
+                    _hash_node(lower[t], lower[t + 1])
+                    for t in range(0, len(lower), 2)
+                ]
+            )
+
+    @classmethod
+    def from_values(cls, values: Sequence[int]) -> "MerkleTree":
+        return cls([encode_value(v) for v in values])
+
+    @property
+    def root(self) -> bytes:
+        return self.levels[-1][0]
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels) - 1
+
+    def prove(self, index: int) -> MerkleProof:
+        if not 0 <= index < len(self._leaf_data):
+            raise IndexError("leaf index out of range")
+        siblings = []
+        idx = index
+        for level in self.levels[:-1]:
+            siblings.append(level[idx ^ 1])
+            idx >>= 1
+        return MerkleProof(
+            index=index,
+            leaf_data=self._leaf_data[index],
+            siblings=tuple(siblings),
+        )
+
+    def space_hashes(self) -> int:
+        """Number of stored hash values — Θ(u), the comparison statistic."""
+        return sum(len(level) for level in self.levels)
+
+
+def verify_proof(root: bytes, proof: MerkleProof) -> bool:
+    """Check an authentication path against a trusted root."""
+    digest = _hash_leaf(proof.leaf_data)
+    idx = proof.index
+    for sibling in proof.siblings:
+        if idx & 1:
+            digest = _hash_node(sibling, digest)
+        else:
+            digest = _hash_node(digest, sibling)
+        idx >>= 1
+    return digest == root
+
+
+def verify_value(root: bytes, proof: MerkleProof, value: int) -> bool:
+    """Check both the path and that the leaf encodes ``value``."""
+    return proof.leaf_data == encode_value(value) and verify_proof(root, proof)

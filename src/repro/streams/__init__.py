@@ -1,0 +1,36 @@
+"""Stream model, synthetic workloads and the key-value-store scenario."""
+
+from repro.streams.generators import (
+    adversarial_collision_stream,
+    frequency_histogram,
+    key_value_pairs,
+    paired_streams_for_join,
+    sparse_stream,
+    turnstile_stream,
+    uniform_frequency_stream,
+    zipf_stream,
+)
+from repro.streams.kvstore import (
+    DuplicateKeyError,
+    KVStreamEncoder,
+    OutsourcedKVStore,
+)
+from repro.streams.model import Stream, StreamStats, UniverseError, Update
+
+__all__ = [
+    "DuplicateKeyError",
+    "KVStreamEncoder",
+    "OutsourcedKVStore",
+    "Stream",
+    "StreamStats",
+    "UniverseError",
+    "Update",
+    "adversarial_collision_stream",
+    "frequency_histogram",
+    "key_value_pairs",
+    "paired_streams_for_join",
+    "sparse_stream",
+    "turnstile_stream",
+    "uniform_frequency_stream",
+    "zipf_stream",
+]

@@ -1,0 +1,117 @@
+"""A Dynamo-style outsourced key-value store (the motivating example).
+
+Section 1: the data owner uploads (key, value) pairs to the cloud and later
+queries them.  :class:`OutsourcedKVStore` plays the *cloud* (it stores
+everything); :class:`KVStreamEncoder` captures the *data owner's* view — it
+turns puts into stream updates that feed the verifier's O(log u) state and
+never retains the data itself.
+
+The DICTIONARY encoding of Section 4.2 is used: stored values are shifted
+by +1 so that a retrieved 0 unambiguously means "not found".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.streams.model import Stream, UniverseError
+
+
+class DuplicateKeyError(ValueError):
+    """DICTIONARY requires all keys distinct (Section 1.1)."""
+
+
+class KVStreamEncoder:
+    """Encodes distinct-key puts as updates ``(key, value + 1)``.
+
+    The +1 shift implements the paper's "not found" disambiguation: the
+    frequency vector holds value+1 for present keys and 0 for absent ones.
+    """
+
+    def __init__(self, u: int):
+        if u < 1:
+            raise UniverseError("universe size must be positive")
+        self.u = u
+        self._seen_keys: set = set()
+
+    def encode_put(self, key: int, value: int) -> Tuple[int, int]:
+        if not 0 <= key < self.u:
+            raise UniverseError("key %d outside universe [0, %d)" % (key, self.u))
+        if not 0 <= value < self.u:
+            raise UniverseError("value %d outside universe [0, %d)" % (value, self.u))
+        if key in self._seen_keys:
+            raise DuplicateKeyError("key %d was already put" % key)
+        self._seen_keys.add(key)
+        return (key, value + 1)
+
+    @staticmethod
+    def decode_frequency(freq: int) -> Optional[int]:
+        """Frequency -> stored value, or None for "not found"."""
+        if freq == 0:
+            return None
+        return freq - 1
+
+
+class OutsourcedKVStore:
+    """The cloud side: stores everything, answers every query type.
+
+    This is the honest data source behind the provers; a cheating cloud is
+    modelled by the adversaries in :mod:`repro.adversary`.
+    """
+
+    def __init__(self, u: int):
+        self.u = u
+        self.encoder = KVStreamEncoder(u)
+        self._data: Dict[int, int] = {}
+        self._stream = Stream(u)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def put(self, key: int, value: int) -> Tuple[int, int]:
+        """Store the pair; returns the stream update the data owner sees."""
+        update = self.encoder.encode_put(key, value)
+        self._data[key] = value
+        self._stream.append(*update)
+        return update
+
+    def put_many(self, pairs) -> List[Tuple[int, int]]:
+        return [self.put(k, v) for k, v in pairs]
+
+    # -- queries (reference answers) -------------------------------------------
+
+    def get(self, key: int) -> Optional[int]:
+        return self._data.get(key)
+
+    def predecessor_key(self, q: int) -> Optional[int]:
+        candidates = [k for k in self._data if k <= q]
+        return max(candidates) if candidates else None
+
+    def successor_key(self, q: int) -> Optional[int]:
+        candidates = [k for k in self._data if k >= q]
+        return min(candidates) if candidates else None
+
+    def range_scan(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        return sorted(
+            (k, v) for k, v in self._data.items() if lo <= k <= hi
+        )
+
+    def range_value_sum(self, lo: int, hi: int) -> int:
+        return sum(v for k, v in self._data.items() if lo <= k <= hi)
+
+    def largest_values(self, count: int) -> List[Tuple[int, int]]:
+        """Keys with the largest stored values (the "heavy" keys)."""
+        ranked = sorted(self._data.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:count]
+
+    # -- the stream view ---------------------------------------------------------
+
+    @property
+    def stream(self) -> Stream:
+        """The update stream both parties observed (encoded values)."""
+        return self._stream
+
+    def updates(self) -> Iterator[Tuple[int, int]]:
+        return self._stream.updates()
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,43 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.field import DEFAULT_FIELD, PrimeField
+
+# Keep property tests quick but meaningful; protocols run real interaction.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+#: A small prime field that makes collision events observable in theory
+#: while staying big enough that honest runs never trip (tests that *want*
+#: collisions construct their own tiny fields).
+SMALL_PRIME = 2_147_483_647  # 2^31 - 1 (Mersenne)
+
+
+@pytest.fixture(scope="session")
+def field() -> PrimeField:
+    return DEFAULT_FIELD
+
+
+@pytest.fixture(scope="session")
+def small_field() -> PrimeField:
+    return PrimeField(SMALL_PRIME)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)

@@ -1,0 +1,118 @@
+"""Tests for repro.lde.canonical — dyadic covers and the O(log² u)
+range-indicator LDE evaluation of Section 3.2."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.modular import DEFAULT_FIELD
+from repro.lde.canonical import (
+    cover_is_partition,
+    dyadic_cover,
+    node_range,
+    range_indicator_eval,
+)
+from repro.lde.streaming import StreamingLDE
+
+F = DEFAULT_FIELD
+
+ranges_64 = st.tuples(
+    st.integers(min_value=0, max_value=63),
+    st.integers(min_value=0, max_value=63),
+).map(lambda t: (min(t), max(t)))
+
+
+@given(ranges_64)
+def test_cover_partitions_range(bounds):
+    lo, hi = bounds
+    cover = dyadic_cover(lo, hi)
+    assert cover_is_partition(cover, lo, hi)
+
+
+@given(ranges_64)
+def test_cover_nodes_are_aligned_and_maximal(bounds):
+    lo, hi = bounds
+    cover = dyadic_cover(lo, hi)
+    for level, index in cover:
+        nlo, nhi = node_range((level, index))
+        assert nlo % (1 << level) == 0
+        assert lo <= nlo and nhi <= hi
+    # At most two nodes per level (the classic dyadic bound).
+    per_level = {}
+    for level, _ in cover:
+        per_level[level] = per_level.get(level, 0) + 1
+    assert all(count <= 2 for count in per_level.values())
+
+
+@given(ranges_64)
+def test_cover_size_logarithmic(bounds):
+    lo, hi = bounds
+    cover = dyadic_cover(lo, hi)
+    length = hi - lo + 1
+    assert len(cover) <= 2 * (length.bit_length() + 1)
+
+
+def test_single_point_cover():
+    assert dyadic_cover(5, 5) == [(0, 5)]
+
+
+def test_full_range_cover_is_root():
+    assert dyadic_cover(0, 63) == [(6, 0)]
+
+
+def test_cover_empty_range_rejected():
+    with pytest.raises(ValueError):
+        dyadic_cover(5, 4)
+
+
+def test_cover_negative_rejected():
+    with pytest.raises(ValueError):
+        dyadic_cover(-1, 4)
+
+
+def test_node_range():
+    assert node_range((0, 9)) == (9, 9)
+    assert node_range((3, 2)) == (16, 23)
+
+
+def test_cover_is_partition_detects_gap():
+    assert not cover_is_partition([(0, 1), (0, 3)], 1, 3)
+    assert not cover_is_partition([(0, 1)], 1, 2)
+
+
+@given(ranges_64)
+def test_indicator_eval_matches_direct_lde(bounds):
+    """The O(log² u) formula equals the LDE of the explicit 0/1 vector."""
+    lo, hi = bounds
+    rng = random.Random(lo * 64 + hi)
+    point = F.rand_vector(rng, 6)
+    b = [1 if lo <= i <= hi else 0 for i in range(64)]
+    expected = StreamingLDE.direct_evaluate(F, b, 2, point)
+    assert range_indicator_eval(F, 6, point, lo, hi) == expected
+
+
+def test_indicator_eval_full_range_is_one():
+    # Sum over all chi values is 1 (partition of unity in each variable).
+    rng = random.Random(3)
+    point = F.rand_vector(rng, 8)
+    assert range_indicator_eval(F, 8, point, 0, 255) == 1
+
+
+def test_indicator_eval_on_boolean_point_is_membership():
+    # Evaluating at a grid point recovers the indicator itself.
+    for q in range(16):
+        bits = [(q >> j) & 1 for j in range(4)]
+        inside = range_indicator_eval(F, 4, bits, 3, 9)
+        assert inside == (1 if 3 <= q <= 9 else 0)
+
+
+def test_indicator_eval_validation():
+    point = [1, 2, 3]
+    with pytest.raises(ValueError):
+        range_indicator_eval(F, 3, point, 2, 8)  # hi out of universe
+    with pytest.raises(ValueError):
+        range_indicator_eval(F, 4, point, 0, 3)  # point dim mismatch

@@ -1,0 +1,122 @@
+"""Tests for repro.lde.chi (Lagrange bases and digit tools)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.modular import DEFAULT_FIELD
+from repro.lde.chi import (
+    chi_table,
+    chi_value,
+    digits,
+    from_digits,
+    monomial_weight,
+    multilinear_chi,
+)
+
+F = DEFAULT_FIELD
+
+
+@given(st.integers(min_value=0, max_value=10**6),
+       st.integers(min_value=2, max_value=7))
+def test_digits_roundtrip(i, ell):
+    d = 1
+    while ell**d <= i:
+        d += 1
+    ds = digits(i, ell, d)
+    assert len(ds) == d
+    assert all(0 <= x < ell for x in ds)
+    assert from_digits(ds, ell) == i
+
+
+def test_digits_lsb_first():
+    assert digits(6, 2, 3) == [0, 1, 1]
+    assert digits(5, 3, 2) == [2, 1]
+
+
+def test_digits_overflow_rejected():
+    with pytest.raises(ValueError):
+        digits(8, 2, 3)
+
+
+def test_digits_negative_rejected():
+    with pytest.raises(ValueError):
+        digits(-1, 2, 3)
+
+
+def test_from_digits_range_check():
+    with pytest.raises(ValueError):
+        from_digits([0, 3], 3)
+
+
+@pytest.mark.parametrize("ell", [2, 3, 5, 8])
+def test_chi_is_kronecker_delta_on_grid(ell):
+    for k in range(ell):
+        for x in range(ell):
+            assert chi_value(F, ell, k, x) == (1 if x == k else 0)
+
+
+@pytest.mark.parametrize("ell", [2, 3, 5])
+def test_chi_table_matches_chi_value_off_grid(ell):
+    for x in (ell + 1, 12345, F.p - 3):
+        table = chi_table(F, ell, x)
+        assert table == [chi_value(F, ell, k, x) for k in range(ell)]
+
+
+def test_chi_table_on_grid_is_indicator():
+    table = chi_table(F, 4, 2)
+    assert table == [0, 0, 1, 0]
+
+
+@given(st.integers(min_value=2, max_value=6),
+       st.integers(min_value=0, max_value=2**61 - 2))
+def test_chi_partition_of_unity(ell, x):
+    # Lagrange bases over any point set sum to the interpolant of the
+    # constant-1 function, which is 1 everywhere.
+    assert sum(chi_table(F, ell, x)) % F.p == 1
+
+
+def test_chi_index_out_of_range():
+    with pytest.raises(ValueError):
+        chi_value(F, 4, 4, 0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=8),
+       st.data())
+def test_multilinear_chi_on_boolean_points(bits, data):
+    other = data.draw(
+        st.lists(st.integers(min_value=0, max_value=1),
+                 min_size=len(bits), max_size=len(bits))
+    )
+    value = multilinear_chi(F, bits, other)
+    assert value == (1 if bits == other else 0)
+
+
+def test_multilinear_chi_matches_binary_chi_table():
+    point = [123, 456, 789]
+    for i in range(8):
+        bits = [(i >> j) & 1 for j in range(3)]
+        expected = 1
+        for b, x in zip(bits, point):
+            expected = expected * chi_value(F, 2, b, x) % F.p
+        assert multilinear_chi(F, bits, point) == expected
+
+
+def test_multilinear_chi_dimension_mismatch():
+    with pytest.raises(ValueError):
+        multilinear_chi(F, [0, 1], [5])
+
+
+def test_monomial_weight_tree_hash_semantics():
+    r = [3, 5, 7]
+    # Key 6 = bits (0,1,1) -> weight r_2 * r_3 = 35.
+    assert monomial_weight(F, [0, 1, 1], r) == 35
+    assert monomial_weight(F, [0, 0, 0], r) == 1
+    assert monomial_weight(F, [1, 1, 1], r) == 105
+
+
+def test_monomial_weight_dimension_mismatch():
+    with pytest.raises(ValueError):
+        monomial_weight(F, [1], [2, 3])

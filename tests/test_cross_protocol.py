@@ -1,0 +1,103 @@
+"""Cross-protocol consistency: the same quantity computed through every
+implemented route must agree — a strong whole-library invariant."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.trivial import ship_and_verify_f2
+from repro.core.f2 import self_join_size_protocol
+from repro.core.f2_general import general_f2_protocol
+from repro.core.fk import frequency_moment_protocol
+from repro.core.frequency_based import frequency_based_protocol
+from repro.core.inner_product import inner_product_protocol
+from repro.core.range_sum import range_sum_protocol
+from repro.core.single_round import single_round_f2_protocol
+from repro.field.modular import DEFAULT_FIELD
+from repro.gkr.circuits import f2_circuit
+from repro.gkr.protocol import gkr_protocol
+from repro.streams.model import Stream
+
+F = DEFAULT_FIELD
+
+strict_updates = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=15),
+              st.integers(min_value=1, max_value=6)),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(strict_updates)
+@settings(max_examples=10)
+def test_f2_seven_ways(updates):
+    """F2 via: oracle, the main protocol, Fk(k=2), inner product with
+    itself, general-ℓ, the single-round baseline, ship-the-answer, GKR,
+    and the frequency-based machinery with h = x²."""
+    stream = Stream(16, updates)
+    truth = stream.self_join_size()
+
+    routes = {
+        "main": self_join_size_protocol(stream, F, rng=random.Random(1)),
+        "fk2": frequency_moment_protocol(stream, 2, F,
+                                         rng=random.Random(2)),
+        "self-ip": inner_product_protocol(stream, stream, F,
+                                          rng=random.Random(3)),
+        "general-l3": general_f2_protocol(stream, 3, F,
+                                          rng=random.Random(4)),
+        "one-round": single_round_f2_protocol(stream, F,
+                                              rng=random.Random(5)),
+        "ship": ship_and_verify_f2(stream, F, rng=random.Random(6)),
+        "freq-based": frequency_based_protocol(
+            stream, lambda x: x * x, F, rng=random.Random(7)
+        ),
+    }
+    for name, result in routes.items():
+        assert result.accepted, "%s rejected an honest run" % name
+        assert result.value == truth % F.p, "%s disagrees" % name
+
+    gkr = gkr_protocol(f2_circuit(16), stream, F, rng=random.Random(8))
+    assert gkr.accepted and gkr.value == [truth % F.p]
+
+
+@given(strict_updates)
+@settings(max_examples=10)
+def test_range_sum_two_ways(updates):
+    """RANGE-SUM over the full universe = F1 = total mass."""
+    stream = Stream(16, updates)
+    total = sum(d for _, d in updates)
+    rs = range_sum_protocol(stream, 0, 15, F, rng=random.Random(9))
+    f1 = frequency_moment_protocol(stream, 1, F, rng=random.Random(10))
+    assert rs.accepted and f1.accepted
+    assert rs.value == f1.value == total % F.p
+
+
+def test_f0_two_ways():
+    """F0 via the frequency-based protocol and via a full range query."""
+    from repro.core.reporting import build_reporting_session, range_query
+    from repro.core.frequency_based import f0_protocol
+
+    stream = Stream.from_items(32, [1, 1, 9, 20, 20, 20, 31])
+    f0 = f0_protocol(stream, F, rng=random.Random(11))
+    prover, verifier = build_reporting_session(stream, F,
+                                               rng=random.Random(12))
+    scan = range_query(prover, verifier, 0, 31)
+    assert f0.accepted and scan.accepted
+    assert f0.value == len(scan.value.entries)
+
+
+def test_predecessor_vs_k_largest():
+    """predecessor(u-1) = 1st largest key."""
+    from repro.core.k_largest import k_largest_protocol
+    from repro.core.reporting import build_reporting_session, predecessor_query
+
+    stream = Stream.from_items(64, [4, 9, 33, 60])
+    largest = k_largest_protocol(stream, 1, F, rng=random.Random(13))
+    prover, verifier = build_reporting_session(stream, F,
+                                               rng=random.Random(14))
+    pred = predecessor_query(prover, verifier, 63)
+    assert largest.accepted and pred.accepted
+    assert largest.value == pred.value == 60

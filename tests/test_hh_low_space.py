@@ -1,0 +1,108 @@
+"""Tests for the low-space (fingerprint) heavy-hitters variant (Sec. 6.1,
+the (log u, 1/φ·log u) improvement)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.heavy_hitters import (
+    HeavyHittersProver,
+    HeavyHittersVerifier,
+    run_heavy_hitters,
+)
+from repro.field.modular import DEFAULT_FIELD
+from repro.streams.generators import zipf_stream
+from repro.streams.model import Stream
+
+F = DEFAULT_FIELD
+
+
+def run_on(stream, phi, seed=0, low_space=True):
+    verifier = HeavyHittersVerifier(F, stream.u, phi, rng=random.Random(seed))
+    prover = HeavyHittersProver(F, stream.u, phi)
+    for i, delta in stream.updates():
+        verifier.process(i, delta)
+        prover.process(i, delta)
+    return run_heavy_hitters(prover, verifier, low_space=low_space)
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=31),
+                          st.integers(min_value=1, max_value=15)),
+                min_size=1, max_size=25))
+def test_low_space_completeness(updates):
+    stream = Stream(32, updates)
+    result = run_on(stream, 0.2)
+    assert result.accepted
+    assert result.value == stream.heavy_hitters(0.2)
+
+
+def test_low_space_matches_basic_variant():
+    stream = zipf_stream(256, 4000, rng=random.Random(1))
+    basic = run_on(stream, 0.02, seed=2, low_space=False)
+    low = run_on(stream, 0.02, seed=2, low_space=True)
+    assert basic.accepted and low.accepted
+    assert basic.value == low.value
+    # Same proof: the variant changes only the verifier's bookkeeping.
+    assert (basic.transcript.prover_words == low.transcript.prover_words)
+
+
+def test_low_space_concealment_caught():
+    from repro.adversary import ConcealingHeavyHittersProver
+
+    stream = Stream.from_items(64, [7] * 40 + [20] * 40 + [1] * 10)
+    verifier = HeavyHittersVerifier(F, 64, 0.3, rng=random.Random(3))
+    prover = ConcealingHeavyHittersProver(F, 64, 0.3, conceal_key=7)
+    for i, d in stream.updates():
+        verifier.process(i, d)
+        prover.process(i, d)
+    result = run_heavy_hitters(prover, verifier, low_space=True)
+    assert not result.accepted
+
+
+def test_low_space_inflation_caught():
+    from repro.adversary import InflatingHeavyHittersProver
+
+    stream = Stream.from_items(64, [7] * 40 + [1] * 10)
+    verifier = HeavyHittersVerifier(F, 64, 0.3, rng=random.Random(4))
+    prover = InflatingHeavyHittersProver(F, 64, 0.3, inflate_key=1,
+                                         amount=500)
+    for i, d in stream.updates():
+        verifier.process(i, d)
+        prover.process(i, d)
+    result = run_heavy_hitters(prover, verifier, low_space=True)
+    assert not result.accepted
+
+
+def test_low_space_tampered_replay_caught():
+    """Altering a heavy record's hash at a middle level breaks the
+    fingerprint replay even though the final chain might be repaired."""
+    from repro.comm.channel import Channel
+
+    stream = Stream.from_items(64, [7] * 64)
+    verifier = HeavyHittersVerifier(F, 64, 0.5, rng=random.Random(5))
+    prover = HeavyHittersProver(F, 64, 0.5)
+    for i, d in stream.updates():
+        verifier.process(i, d)
+        prover.process(i, d)
+
+    def tamper(message):
+        if message.label == "level3" and message.payload:
+            payload = list(message.payload)
+            payload[1] += 1  # hash word of the first record
+            return payload
+        return message.payload
+
+    result = run_heavy_hitters(prover, verifier, Channel(tamper=tamper),
+                               low_space=True)
+    assert not result.accepted
+    assert "fingerprint" in result.reason
+
+
+def test_low_space_no_heavy_case():
+    stream = Stream.from_items(64, list(range(64)))
+    result = run_on(stream, 0.5)
+    assert result.accepted
+    assert result.value == {}

@@ -1,0 +1,160 @@
+"""Cross-module integration tests: the end-to-end scenarios of Section 1.
+
+These mirror the motivating key-value-store example: a data owner uploads
+data to an untrusted cloud while keeping O(log u) words, then verifies
+gets, range scans, ordered navigation, aggregates and statistics.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.channel import Channel
+from repro.core import (
+    build_reporting_session,
+    dictionary_get,
+    f0_protocol,
+    heavy_hitters_protocol,
+    index_query,
+    predecessor_query,
+    range_query,
+    range_sum_protocol,
+    self_join_size_protocol,
+    successor_query,
+)
+from repro.field.modular import DEFAULT_FIELD
+from repro.field.primes import MERSENNE_127
+from repro.field.modular import PrimeField
+from repro.streams.kvstore import OutsourcedKVStore
+from repro.streams.generators import key_value_pairs, zipf_stream
+from repro.streams.model import Stream
+
+F = DEFAULT_FIELD
+
+
+@pytest.fixture(scope="module")
+def store():
+    s = OutsourcedKVStore(256)
+    s.put_many(key_value_pairs(256, 60, rng=random.Random(1)))
+    return s
+
+
+def test_kvstore_get_verified(store):
+    keys = sorted(k for k, _ in store.range_scan(0, 255))
+    for q, seed in [(keys[0], 2), (keys[-1], 3)]:
+        prover, verifier = build_reporting_session(store.stream, F,
+                                                   rng=random.Random(seed))
+        result = dictionary_get(prover, verifier, q)
+        assert result.accepted
+        assert result.value.found
+        assert result.value.value == store.get(q)
+
+
+def test_kvstore_get_missing_verified(store):
+    absent = next(k for k in range(256) if store.get(k) is None)
+    prover, verifier = build_reporting_session(store.stream, F,
+                                               rng=random.Random(4))
+    result = dictionary_get(prover, verifier, absent)
+    assert result.accepted and not result.value.found
+
+
+def test_kvstore_navigation_verified(store):
+    q = 128
+    prover, verifier = build_reporting_session(store.stream, F,
+                                               rng=random.Random(5))
+    pred = predecessor_query(prover, verifier, q)
+    assert pred.accepted and pred.value == store.predecessor_key(q)
+
+    prover, verifier = build_reporting_session(store.stream, F,
+                                               rng=random.Random(6))
+    succ = successor_query(prover, verifier, q)
+    assert succ.accepted and succ.value == store.successor_key(q)
+
+
+def test_kvstore_range_scan_verified(store):
+    lo, hi = 50, 150
+    prover, verifier = build_reporting_session(store.stream, F,
+                                               rng=random.Random(7))
+    result = range_query(prover, verifier, lo, hi)
+    assert result.accepted
+    decoded = sorted((k, v - 1) for k, v in result.value.entries)
+    assert decoded == store.range_scan(lo, hi)
+
+
+def test_kvstore_range_value_sum_verified(store):
+    lo, hi = 0, 255
+    result = range_sum_protocol(store.stream, lo, hi, F,
+                                rng=random.Random(8))
+    assert result.accepted
+    # Stream frequencies are value+1, so subtract the key count.
+    num_keys = len(store.range_scan(lo, hi))
+    assert result.value - num_keys == store.range_value_sum(lo, hi)
+
+
+def test_network_monitoring_scenario():
+    """Zipf traffic: verified F2 (a join-size style statistic), distinct
+    sources (F0) and top talkers (heavy hitters) over one stream."""
+    traffic = zipf_stream(512, 4000, skew=1.2, rng=random.Random(9))
+
+    f2 = self_join_size_protocol(traffic, F, rng=random.Random(10))
+    assert f2.accepted and f2.value == traffic.self_join_size() % F.p
+
+    f0 = f0_protocol(traffic, F, rng=random.Random(11))
+    assert f0.accepted and f0.value == traffic.distinct_count()
+
+    hh = heavy_hitters_protocol(traffic, 0.03, F, rng=random.Random(12))
+    assert hh.accepted and hh.value == traffic.heavy_hitters(0.03)
+
+
+def test_verifier_space_is_logarithmic_end_to_end():
+    """For u = 2^16 the verifier's state stays well under 100 words while
+    the data is 64K entries: the headline exponential gap."""
+    u = 1 << 16
+    stream = Stream(u, [(i, 1) for i in range(0, u, 997)])
+    result = self_join_size_protocol(stream, F, rng=random.Random(13))
+    assert result.accepted
+    assert result.verifier_space_words < 100
+    assert result.transcript.total_words < 100
+
+
+def test_bigger_field_reduces_soundness_error():
+    """Section 5: p = 2^127 - 1 drops the error below 1e-35; protocols run
+    unchanged over the bigger field."""
+    big = PrimeField(MERSENNE_127, check_prime=False)
+    stream = Stream.from_items(64, [1, 1, 2, 63])
+    result = self_join_size_protocol(stream, big, rng=random.Random(14))
+    assert result.accepted
+    assert result.value == stream.self_join_size()
+    d = 6
+    assert 2 * d * 2 / big.p < 1e-35
+
+
+def test_index_over_bit_vector_classic_problem():
+    """INDEX as defined in Section 1.1 (bit stream + late query): linear
+    lower bound in plain streaming, O(log u) here."""
+    u = 1 << 10
+    rng = random.Random(15)
+    bits = [rng.randint(0, 1) for _ in range(u)]
+    stream = Stream.from_items(u, [i for i, b in enumerate(bits) if b])
+    q = rng.randrange(u)
+    prover, verifier = build_reporting_session(stream, F,
+                                               rng=random.Random(16))
+    result = index_query(prover, verifier, q)
+    assert result.accepted
+    assert result.value == bits[q]
+    assert result.verifier_space_words < 8 * 10 + 10
+
+
+def test_transcript_channel_integration():
+    """One channel can carry a claim plus a protocol run and the word
+    accounting remains exact."""
+    stream = Stream.from_items(32, [5, 9])
+    prover, verifier = build_reporting_session(stream, F,
+                                               rng=random.Random(17))
+    ch = Channel()
+    result = predecessor_query(prover, verifier, 20, ch)
+    assert result.accepted and result.value == 9
+    total = sum(m.payload_words for m in ch.transcript.messages)
+    assert total == ch.transcript.total_words

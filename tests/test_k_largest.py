@@ -1,0 +1,117 @@
+"""Tests for the k-LARGEST protocol (Section 6.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.k_largest import (
+    KLargestProver,
+    k_largest_protocol,
+    k_largest_query,
+)
+from repro.core.subvector import TreeHashVerifier
+from repro.field.modular import DEFAULT_FIELD
+from repro.streams.model import Stream
+
+F = DEFAULT_FIELD
+
+
+def session(stream, seed=0):
+    verifier = TreeHashVerifier(F, stream.u, rng=random.Random(seed))
+    prover = KLargestProver(F, stream.u)
+    for i, delta in stream.updates():
+        verifier.process(i, delta)
+        prover.process(i, delta)
+    return prover, verifier
+
+
+def kth_largest_oracle(keys, k):
+    ranked = sorted(set(keys), reverse=True)
+    return ranked[k - 1] if k <= len(ranked) else None
+
+
+@given(st.sets(st.integers(min_value=0, max_value=63), min_size=1,
+               max_size=20),
+       st.integers(min_value=1, max_value=8))
+def test_completeness_random(keys, k):
+    stream = Stream.from_items(64, sorted(keys))
+    prover, verifier = session(stream, seed=k)
+    result = k_largest_query(prover, verifier, k)
+    assert result.accepted
+    assert result.value == kth_largest_oracle(keys, k)
+
+
+def test_first_largest_is_max():
+    stream = Stream.from_items(32, [5, 17, 29])
+    prover, verifier = session(stream)
+    result = k_largest_query(prover, verifier, 1)
+    assert result.accepted and result.value == 29
+
+
+def test_multiplicities_do_not_matter():
+    """k-largest ranks distinct keys, not occurrences."""
+    stream = Stream.from_items(32, [9, 9, 9, 4])
+    prover, verifier = session(stream)
+    result = k_largest_query(prover, verifier, 2)
+    assert result.accepted and result.value == 4
+
+
+def test_fewer_than_k_keys():
+    stream = Stream.from_items(32, [3, 7])
+    prover, verifier = session(stream)
+    result = k_largest_query(prover, verifier, 5)
+    assert result.accepted and result.value is None
+
+
+def test_lying_claim_too_high_rejected():
+    """Claiming a larger key than the truth: the claimed location holds no
+    key (or the range holds fewer than k keys)."""
+    stream = Stream.from_items(64, [10, 20, 30])
+    prover, verifier = session(stream)
+    prover.claim_kth_largest = lambda k: (1, 25)
+    result = k_largest_query(prover, verifier, 2)
+    assert not result.accepted
+
+
+def test_lying_claim_too_low_rejected():
+    """Claiming a smaller key: the suffix range exposes too many keys."""
+    stream = Stream.from_items(64, [10, 20, 30])
+    prover, verifier = session(stream)
+    prover.claim_kth_largest = lambda k: (1, 10)
+    result = k_largest_query(prover, verifier, 2)
+    assert not result.accepted
+
+
+def test_false_none_claim_rejected():
+    stream = Stream.from_items(64, [10, 20, 30])
+    prover, verifier = session(stream)
+    prover.claim_kth_largest = lambda k: (0, 0)
+    result = k_largest_query(prover, verifier, 2)
+    assert not result.accepted
+
+
+def test_cost_k_plus_log_u():
+    u = 1 << 10
+    keys = [1000 - i for i in range(5)]
+    stream = Stream.from_items(u, keys)
+    prover, verifier = session(stream)
+    result = k_largest_query(prover, verifier, 3)
+    assert result.accepted
+    assert result.transcript.total_words <= 2 + 2 + 2 * 3 + 9 + 4 * 10
+
+
+def test_k_validation():
+    stream = Stream.from_items(8, [1])
+    prover, verifier = session(stream)
+    with pytest.raises(ValueError):
+        k_largest_query(prover, verifier, 0)
+
+
+def test_end_to_end_helper():
+    stream = Stream.from_items(32, [4, 8, 15, 16, 23])
+    result = k_largest_protocol(stream, 2, F, rng=random.Random(1))
+    assert result.accepted and result.value == 16

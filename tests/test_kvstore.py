@@ -1,0 +1,95 @@
+"""Tests for repro.streams.kvstore (the Dynamo-style scenario)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.kvstore import (
+    DuplicateKeyError,
+    KVStreamEncoder,
+    OutsourcedKVStore,
+)
+from repro.streams.model import UniverseError
+
+
+def test_encoder_shifts_values():
+    enc = KVStreamEncoder(16)
+    assert enc.encode_put(3, 0) == (3, 1)
+    assert enc.encode_put(4, 9) == (4, 10)
+
+
+def test_encoder_decode_roundtrip():
+    enc = KVStreamEncoder(64)
+    for key, value in [(0, 0), (5, 31), (63, 63)]:
+        _, freq = enc.encode_put(key, value)
+        assert KVStreamEncoder.decode_frequency(freq) == value
+    assert KVStreamEncoder.decode_frequency(0) is None
+
+
+def test_encoder_rejects_duplicates():
+    enc = KVStreamEncoder(8)
+    enc.encode_put(2, 1)
+    with pytest.raises(DuplicateKeyError):
+        enc.encode_put(2, 5)
+
+
+def test_encoder_validates_ranges():
+    enc = KVStreamEncoder(8)
+    with pytest.raises(UniverseError):
+        enc.encode_put(8, 0)
+    with pytest.raises(UniverseError):
+        enc.encode_put(0, 8)
+
+
+def test_store_get():
+    store = OutsourcedKVStore(32)
+    store.put(10, 7)
+    store.put(20, 0)
+    assert store.get(10) == 7
+    assert store.get(20) == 0
+    assert store.get(11) is None
+    assert len(store) == 2
+
+
+def test_store_stream_reflects_encoding():
+    store = OutsourcedKVStore(32)
+    store.put(10, 7)
+    assert list(store.updates()) == [(10, 8)]
+    assert store.stream.frequency_vector()[10] == 8
+
+
+def test_store_put_many():
+    store = OutsourcedKVStore(64)
+    updates = store.put_many([(1, 2), (3, 4)])
+    assert updates == [(1, 3), (3, 5)]
+
+
+def test_store_predecessor_successor():
+    store = OutsourcedKVStore(100)
+    store.put_many([(5, 1), (50, 2), (75, 3)])
+    assert store.predecessor_key(60) == 50
+    assert store.predecessor_key(4) is None
+    assert store.successor_key(51) == 75
+    assert store.successor_key(76) is None
+    assert store.predecessor_key(50) == 50
+
+
+def test_store_range_scan_sorted():
+    store = OutsourcedKVStore(100)
+    store.put_many([(30, 9), (10, 1), (20, 4), (90, 2)])
+    assert store.range_scan(10, 30) == [(10, 1), (20, 4), (30, 9)]
+    assert store.range_scan(31, 89) == []
+
+
+def test_store_range_value_sum():
+    store = OutsourcedKVStore(100)
+    store.put_many([(1, 10), (2, 20), (3, 30)])
+    assert store.range_value_sum(2, 3) == 50
+    assert store.range_value_sum(4, 99) == 0
+
+
+def test_store_largest_values_ranked():
+    store = OutsourcedKVStore(100)
+    store.put_many([(1, 5), (2, 9), (3, 9), (4, 1)])
+    assert store.largest_values(2) == [(2, 9), (3, 9)]
+    assert store.largest_values(10) == [(2, 9), (3, 9), (1, 5), (4, 1)]

@@ -1,0 +1,235 @@
+"""Tests for multiple-query support (Section 7, "Multiple Queries")."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.channel import Channel, flip_word
+from repro.core.f2 import F2Verifier
+from repro.core.multiquery import IndependentCopies, run_batch_range_sum
+from repro.core.range_sum import RangeSumProver, RangeSumVerifier
+from repro.field.modular import DEFAULT_FIELD
+from repro.streams.generators import uniform_frequency_stream
+from repro.streams.model import Stream
+
+F = DEFAULT_FIELD
+
+
+def batch_session(stream, seed=0):
+    verifier = RangeSumVerifier(F, stream.u, rng=random.Random(seed))
+    prover = RangeSumProver(F, stream.u)
+    for i, delta in stream.updates():
+        verifier.process(i, delta)
+        prover.process_a(i, delta)
+    return prover, verifier
+
+
+def test_batch_all_queries_verified():
+    stream = uniform_frequency_stream(64, max_frequency=9,
+                                      rng=random.Random(1))
+    queries = [(0, 10), (5, 40), (63, 63), (0, 63)]
+    prover, verifier = batch_session(stream)
+    results = run_batch_range_sum(prover, verifier, queries)
+    assert len(results) == 4
+    for (lo, hi), result in zip(queries, results):
+        assert result.accepted
+        assert result.value == stream.range_sum(lo, hi) % F.p
+
+
+def test_batch_shares_challenges():
+    """Direct-sum: one challenge per round regardless of query count."""
+    stream = Stream(64, [(3, 5)])
+    prover, verifier = batch_session(stream, seed=2)
+    channel = Channel()
+    run_batch_range_sum(prover, verifier, [(0, 7), (8, 15), (16, 31)],
+                        channel)
+    challenge_words = sum(
+        m.payload_words
+        for m in channel.transcript.messages_from("verifier")
+        if m.label.startswith("r")
+    )
+    assert challenge_words == verifier.d - 1  # shared across all queries
+
+
+def test_batch_communication_scales_with_queries():
+    stream = Stream(64, [(3, 5)])
+    words = {}
+    for count in (1, 4):
+        prover, verifier = batch_session(stream, seed=3)
+        channel = Channel()
+        run_batch_range_sum(prover, verifier,
+                            [(i, i + 8) for i in range(count)], channel)
+        words[count] = channel.transcript.prover_words
+    assert words[4] == 4 * words[1]
+
+
+def test_batch_single_tampered_query_fails_alone():
+    """Tampering one query's messages must not sink the others."""
+    stream = uniform_frequency_stream(64, max_frequency=5,
+                                      rng=random.Random(4))
+    queries = [(0, 20), (30, 50)]
+    prover, verifier = batch_session(stream, seed=5)
+
+    def tamper(message):
+        if message.label.startswith("q1-"):
+            payload = list(message.payload)
+            payload[0] += 1
+            return payload
+        return message.payload
+
+    results = run_batch_range_sum(prover, verifier, queries,
+                                  Channel(tamper=tamper))
+    assert results[0].accepted
+    assert not results[1].accepted
+
+
+def test_batch_validates_ranges():
+    stream = Stream(16, [(0, 1)])
+    prover, verifier = batch_session(stream)
+    with pytest.raises(ValueError):
+        run_batch_range_sum(prover, verifier, [(5, 4)])
+
+
+def test_independent_copies_lifecycle():
+    stream = uniform_frequency_stream(32, max_frequency=4,
+                                      rng=random.Random(6))
+    copies = IndependentCopies(
+        3,
+        lambda rng: F2Verifier(F, 32, rng=rng),
+        rng=random.Random(7),
+    )
+    copies.process_stream(stream.updates())
+    assert copies.remaining == 3
+    seen_points = []
+    for _ in range(3):
+        verifier = copies.take()
+        seen_points.append(tuple(verifier.r))
+    assert copies.remaining == 0
+    # Copies carry independent randomness.
+    assert len(set(seen_points)) == 3
+    with pytest.raises(LookupError):
+        copies.take()
+
+
+def test_independent_copies_usable_for_repeated_queries():
+    from repro.core.f2 import F2Prover, run_f2
+
+    stream = uniform_frequency_stream(32, max_frequency=4,
+                                      rng=random.Random(8))
+    copies = IndependentCopies(
+        2,
+        lambda rng: F2Verifier(F, 32, rng=rng),
+        rng=random.Random(9),
+    )
+    prover = F2Prover(F, 32)
+    for i, d in stream.updates():
+        copies.process(i, d)
+        prover.process(i, d)
+    for _ in range(2):
+        result = run_f2(prover, copies.take())
+        assert result.accepted
+        assert result.value == stream.self_join_size() % F.p
+
+
+def test_independent_copies_space_scales():
+    copies = IndependentCopies(
+        4,
+        lambda rng: F2Verifier(F, 1024, rng=rng),
+        rng=random.Random(10),
+    )
+    single = F2Verifier(F, 1024, rng=random.Random(11))
+    assert copies.space_words == 4 * single.space_words
+
+
+def test_independent_copies_validates_count():
+    with pytest.raises(ValueError):
+        IndependentCopies(0, lambda rng: None)
+
+
+# -- error amplification (Definition 1 remark) ---------------------------------
+
+
+def _f2_run_once_factory(stream, prover_cls):
+    from repro.core.f2 import run_f2
+
+    def run_once(rng):
+        from repro.core.f2 import F2Verifier
+
+        verifier = F2Verifier(F, stream.u, rng=rng)
+        prover = prover_cls(F, stream.u)
+        for i, d in stream.updates():
+            verifier.process(i, d)
+            prover.process(i, d)
+        return run_f2(prover, verifier)
+
+    return run_once
+
+
+def test_amplified_honest_accepted():
+    from repro.core.f2 import F2Prover
+    from repro.core.multiquery import amplified_protocol
+
+    stream = uniform_frequency_stream(32, max_frequency=5,
+                                      rng=random.Random(20))
+    result = amplified_protocol(
+        _f2_run_once_factory(stream, F2Prover), 3, random.Random(21)
+    )
+    assert result.accepted
+    assert result.value == stream.self_join_size() % F.p
+    # Costs add linearly: 3 instances of a 5-round protocol.
+    assert result.transcript.total_words == 3 * (3 * 5 + 4)
+
+
+def test_amplified_rejects_on_any_rejection():
+    from repro.adversary import ModifiedStreamF2Prover
+    from repro.core.multiquery import amplified_protocol
+
+    stream = uniform_frequency_stream(32, max_frequency=5,
+                                      rng=random.Random(22))
+
+    def prover_cls(field, u):
+        return ModifiedStreamF2Prover(field, u, corrupt_key=1)
+
+    result = amplified_protocol(
+        _f2_run_once_factory(stream, prover_cls), 3, random.Random(23)
+    )
+    assert not result.accepted
+    assert "repetition rejected" in result.reason
+
+
+def test_amplified_error_compounds():
+    """Over Z_101 one repetition escapes measurably; three repetitions
+    (reject-if-any-rejects) should essentially never escape."""
+    from repro.core.multiquery import amplified_protocol
+    from repro.adversary import ModifiedStreamF2Prover
+    from repro.core.f2 import F2Verifier, run_f2
+    from repro.field.modular import PrimeField
+    from repro.streams.model import Stream
+
+    tiny = PrimeField(101)
+    stream = Stream.from_items(8, [1, 3, 3])
+
+    def run_once(rng):
+        verifier = F2Verifier(tiny, 8, rng=rng)
+        prover = ModifiedStreamF2Prover(tiny, 8, corrupt_key=1)
+        for i, d in stream.updates():
+            verifier.process(i, d)
+            prover.process(i, d)
+        return run_f2(prover, verifier)
+
+    master = random.Random(24)
+    escapes = sum(
+        amplified_protocol(run_once, 3, master).accepted
+        for _ in range(120)
+    )
+    # Single-run escape rate is ~0.1; cubed it is ~1e-3.
+    assert escapes <= 2
+
+
+def test_amplified_validates_repetitions():
+    from repro.core.multiquery import amplified_protocol
+
+    with pytest.raises(ValueError):
+        amplified_protocol(lambda rng: None, 0)

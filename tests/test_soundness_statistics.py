@@ -1,0 +1,88 @@
+"""Statistical validation of Lemma 1 and the Theorem 5 soundness bound.
+
+Over a deliberately tiny field the adversary's escape probability becomes
+measurable; repeated trials confirm the empirical rate stays within the
+analytical bound (2dℓ/p for the sum-check; ~log(u)/p for the tree), and
+that the same adversaries at p = 2^61 - 1 never escape in practice.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.adversary import AlteringSubVectorProver, ModifiedStreamF2Prover
+from repro.core.f2 import F2Verifier, run_f2
+from repro.core.subvector import TreeHashVerifier, run_subvector
+from repro.field.modular import DEFAULT_FIELD, PrimeField
+from repro.streams.model import Stream
+
+TINY = PrimeField(101)
+U = 8  # d = 3
+TRIALS = 400
+
+
+def _f2_escape_rate(field, trials, seed):
+    """Fraction of trials a modified-stream prover is (wrongly) accepted."""
+    stream = Stream.from_items(U, [1, 3, 3, 5])
+    escapes = 0
+    master = random.Random(seed)
+    for _ in range(trials):
+        verifier = F2Verifier(field, U,
+                              rng=random.Random(master.getrandbits(64)))
+        prover = ModifiedStreamF2Prover(field, U, corrupt_key=1)
+        verifier.process_stream(stream.updates())
+        prover.process_stream(stream.updates())
+        if run_f2(prover, verifier).accepted:
+            escapes += 1
+    return escapes / trials
+
+
+def test_f2_escape_rate_within_lemma1_bound():
+    d, ell = 3, 2
+    bound = 2 * d * ell / TINY.p  # ≈ 0.119
+    rate = _f2_escape_rate(TINY, TRIALS, seed=1)
+    # Allow generous sampling slack above the analytical bound.
+    assert rate <= 3 * bound + 0.05, (
+        "escape rate %.3f far above Lemma 1 bound %.3f" % (rate, bound)
+    )
+
+
+def test_f2_escapes_actually_occur_in_tiny_field():
+    """The bound is not vacuous: over Z_101 some escapes should happen
+    across many trials (each trial escapes with prob ~ a few / 101)."""
+    rate = _f2_escape_rate(TINY, TRIALS, seed=2)
+    assert rate > 0, (
+        "expected at least one escape over %d trials at p=101" % TRIALS
+    )
+
+
+def test_f2_never_escapes_in_production_field():
+    rate = _f2_escape_rate(DEFAULT_FIELD, 50, seed=3)
+    assert rate == 0.0
+
+
+def _subvector_escape_rate(field, trials, seed):
+    stream = Stream.from_items(U, [2, 5])
+    escapes = 0
+    master = random.Random(seed)
+    for _ in range(trials):
+        verifier = TreeHashVerifier(
+            field, U, rng=random.Random(master.getrandbits(64))
+        )
+        prover = AlteringSubVectorProver(field, U, alter_key=2, offset=1)
+        verifier.process_stream(stream.updates())
+        prover.process_stream(stream.updates())
+        if run_subvector(prover, verifier, 0, U - 1).accepted:
+            escapes += 1
+    return escapes / trials
+
+
+def test_subvector_escape_rate_within_theorem5_bound():
+    bound = 3 / TINY.p  # log u / p with log u = 3
+    rate = _subvector_escape_rate(TINY, TRIALS, seed=4)
+    assert rate <= 5 * bound + 0.05
+
+
+def test_subvector_never_escapes_in_production_field():
+    rate = _subvector_escape_rate(DEFAULT_FIELD, 50, seed=5)
+    assert rate == 0.0

@@ -1,0 +1,152 @@
+"""Tests for repro.streams.model (the Section 2 input model + oracles)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streams.model import Stream, UniverseError
+
+updates_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=31),
+              st.integers(min_value=-20, max_value=20)),
+    max_size=60,
+)
+
+
+def test_universe_validation():
+    with pytest.raises(UniverseError):
+        Stream(0)
+    s = Stream(4)
+    with pytest.raises(UniverseError):
+        s.append(4, 1)
+    with pytest.raises(UniverseError):
+        s.append(-1, 1)
+
+
+def test_from_items():
+    s = Stream.from_items(8, [1, 1, 7])
+    assert s.frequency_vector() == [0, 2, 0, 0, 0, 0, 0, 1]
+
+
+def test_from_frequency_vector_roundtrip():
+    freqs = [0, 3, 0, -2, 7]
+    s = Stream.from_frequency_vector(freqs)
+    assert s.u == 5
+    assert s.frequency_vector() == freqs
+    assert len(s) == 3  # one update per nonzero entry
+
+
+@given(updates_strategy)
+def test_frequency_vector_matches_sparse(updates):
+    s = Stream(32, updates)
+    dense = s.frequency_vector()
+    sparse = s.sparse_frequencies()
+    assert all(dense[i] == f for i, f in sparse.items())
+    assert all(f != 0 for f in sparse.values())
+    assert sum(1 for f in dense if f != 0) == len(sparse)
+
+
+@given(updates_strategy)
+def test_self_join_size_oracle(updates):
+    s = Stream(32, updates)
+    dense = s.frequency_vector()
+    assert s.self_join_size() == sum(f * f for f in dense)
+
+
+@given(updates_strategy, st.integers(min_value=1, max_value=4))
+def test_frequency_moment_oracle(updates, k):
+    s = Stream(32, updates)
+    dense = s.frequency_vector()
+    assert s.frequency_moment(k) == sum(f**k for f in dense)
+
+
+def test_frequency_moment_rejects_negative_order():
+    with pytest.raises(ValueError):
+        Stream(4).frequency_moment(-1)
+
+
+@given(updates_strategy, updates_strategy)
+def test_inner_product_oracle(ua, ub):
+    a = Stream(32, ua)
+    b = Stream(32, ub)
+    da, db = a.frequency_vector(), b.frequency_vector()
+    assert a.inner_product(b) == sum(x * y for x, y in zip(da, db))
+    assert a.inner_product(b) == b.inner_product(a)
+
+
+def test_inner_product_universe_mismatch():
+    with pytest.raises(UniverseError):
+        Stream(4).inner_product(Stream(8))
+
+
+@given(updates_strategy,
+       st.tuples(st.integers(min_value=0, max_value=31),
+                 st.integers(min_value=0, max_value=31)))
+def test_range_sum_and_entries(updates, bounds):
+    lo, hi = min(bounds), max(bounds)
+    s = Stream(32, updates)
+    dense = s.frequency_vector()
+    assert s.range_sum(lo, hi) == sum(dense[lo : hi + 1])
+    entries = s.range_entries(lo, hi)
+    assert entries == [
+        (i, dense[i]) for i in range(lo, hi + 1) if dense[i] != 0
+    ]
+    assert entries == sorted(entries)
+
+
+def test_predecessor_successor():
+    s = Stream.from_items(16, [2, 9, 9, 14])
+    assert s.predecessor(9) == 9
+    assert s.predecessor(8) == 2
+    assert s.successor(10) == 14
+    assert s.successor(9) == 9
+    with pytest.raises(LookupError):
+        s.predecessor(1)
+    with pytest.raises(LookupError):
+        s.successor(15)
+
+
+def test_predecessor_ignores_cancelled_keys():
+    s = Stream(16, [(5, 2), (5, -2), (3, 1)])
+    assert s.predecessor(6) == 3
+
+
+def test_heavy_hitters_oracle():
+    s = Stream.from_items(8, [1] * 6 + [2] * 3 + [3])
+    assert s.heavy_hitters(0.5) == {1: 6}
+    assert s.heavy_hitters(0.3) == {1: 6, 2: 3}
+
+
+def test_distinct_count_and_fmax():
+    s = Stream(8, [(0, 2), (1, 5), (2, 1), (1, -5)])
+    assert s.distinct_count() == 2
+    assert s.max_frequency() == 2
+    assert Stream(8).max_frequency() == 0
+
+
+def test_inverse_distribution_point():
+    s = Stream.from_items(8, [0, 1, 1, 2, 2, 3])
+    assert s.inverse_distribution_point(1) == 2
+    assert s.inverse_distribution_point(2) == 2
+    assert s.inverse_distribution_point(3) == 0
+    with pytest.raises(ValueError):
+        s.inverse_distribution_point(0)
+
+
+def test_stats():
+    s = Stream(10, [(1, 3), (2, 4), (1, -3)])
+    stats = s.stats()
+    assert stats.universe_size == 10
+    assert stats.num_updates == 3
+    assert stats.num_nonzero == 1
+    assert stats.total_mass == 4
+    assert stats.density == pytest.approx(0.1)
+
+
+def test_iteration_preserves_order():
+    updates = [(3, 1), (1, 2), (3, -1)]
+    s = Stream(4, updates)
+    assert list(s) == updates
+    assert list(s.updates()) == updates

@@ -1,0 +1,92 @@
+"""Tests for repro.comm.wire (byte-level message framing)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.comm.wire import (
+    WireFormatError,
+    decode_words,
+    encode_words,
+    frame_bytes,
+    transcript_wire_bytes,
+    word_width,
+)
+from repro.field.modular import DEFAULT_FIELD, PrimeField
+from repro.field.primes import MERSENNE_127
+
+F = DEFAULT_FIELD
+BIG = PrimeField(MERSENNE_127, check_prime=False)
+
+words_strategy = st.lists(
+    st.integers(min_value=0, max_value=F.p - 1), max_size=20
+)
+
+
+def test_word_width_by_field():
+    assert word_width(F) == 8
+    assert word_width(BIG) == 16
+    assert word_width(PrimeField(101)) == 1
+
+
+@given(words_strategy)
+def test_roundtrip(words):
+    frame = encode_words(F, words)
+    assert decode_words(F, frame) == words
+    assert len(frame) == frame_bytes(F, len(words))
+
+
+@given(st.lists(st.integers(min_value=-(10**20), max_value=10**20),
+                max_size=10))
+def test_encoding_canonicalises(words):
+    frame = encode_words(F, words)
+    assert decode_words(F, frame) == [w % F.p for w in words]
+
+
+def test_empty_frame():
+    frame = encode_words(F, [])
+    assert decode_words(F, frame) == []
+    assert len(frame) == 4
+
+
+def test_big_field_roundtrip():
+    words = [0, BIG.p - 1, 12345]
+    assert decode_words(BIG, encode_words(BIG, words)) == words
+
+
+def test_truncated_frame_rejected():
+    frame = encode_words(F, [1, 2, 3])
+    with pytest.raises(WireFormatError):
+        decode_words(F, frame[:-1])
+    with pytest.raises(WireFormatError):
+        decode_words(F, frame[:2])
+
+
+def test_padded_frame_rejected():
+    frame = encode_words(F, [1]) + b"\x00"
+    with pytest.raises(WireFormatError):
+        decode_words(F, frame)
+
+
+def test_non_canonical_word_rejected():
+    frame = bytearray(encode_words(F, [0]))
+    frame[4:12] = F.p.to_bytes(8, "big")  # == p: not canonical
+    with pytest.raises(WireFormatError):
+        decode_words(F, bytes(frame))
+
+
+def test_transcript_wire_bytes_matches_protocol_run():
+    from repro.core.f2 import self_join_size_protocol
+    from repro.streams.model import Stream
+
+    stream = Stream.from_items(64, [3, 3, 9])
+    result = self_join_size_protocol(stream, F, rng=random.Random(1))
+    total = transcript_wire_bytes(F, result.transcript)
+    # word payload + 4 bytes of framing per message.
+    assert total == result.transcript.total_words * 8 + 4 * len(
+        result.transcript
+    )

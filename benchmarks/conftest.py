@@ -10,17 +10,73 @@ numbers are pure-Python scale — see DESIGN.md §2 and EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import pathlib
+import platform
 import random
 
 import pytest
 
 from repro.field.modular import DEFAULT_FIELD
+from repro.field.vectorized import HAVE_NUMPY
 from repro.streams.generators import uniform_frequency_stream
+
+#: Scalar-vs-vectorized trajectory file; regenerate with
+#:   PYTHONPATH=src python -m pytest benchmarks/test_vectorized_speedup.py -q
+BENCH_VECTORIZED_JSON = pathlib.Path(__file__).resolve().parent / (
+    "BENCH_vectorized.json"
+)
 
 
 @pytest.fixture(scope="session")
 def field():
     return DEFAULT_FIELD
+
+
+@pytest.fixture(scope="session")
+def vectorized_bench_recorder():
+    """Collects scalar-vs-vectorized timing records for the session.
+
+    Append dicts (one per measurement); at session end they are written to
+    ``BENCH_vectorized.json`` so later PRs can track the speedup
+    trajectory.
+    """
+    records = []
+    yield records
+    if records:
+        numpy_version = None
+        if HAVE_NUMPY:
+            import numpy
+
+            numpy_version = numpy.__version__
+        # Merge with any existing file so a partial run (one test, or a
+        # no-numpy leg) never clobbers series it did not re-measure.
+        merged = {}
+        if BENCH_VECTORIZED_JSON.exists():
+            try:
+                previous = json.loads(BENCH_VECTORIZED_JSON.read_text())
+                for record in previous.get("results", []):
+                    merged[(record["measure"], record["u"])] = record
+            except (ValueError, KeyError):
+                pass  # corrupt/legacy file: rewrite from this session
+        for record in records:
+            # Field-wise merge: a scalar-only leg (no numpy) refreshes the
+            # scalar timings without deleting the vectorized series.
+            key = (record["measure"], record["u"])
+            base = dict(merged.get(key, {}))
+            base.update(record)
+            merged[key] = base
+        payload = {
+            "workload": "uniform counts in [0,1000], u = n (Section 5)",
+            "python": platform.python_version(),
+            "numpy": numpy_version,
+            "results": sorted(
+                merged.values(), key=lambda r: (r["measure"], r["u"])
+            ),
+        }
+        BENCH_VECTORIZED_JSON.write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
 
 
 def section5_stream(u: int, seed: int = 0):

@@ -26,7 +26,8 @@ class NaiveRefoldF2Prover(F2Prover):
     def begin_proof(self) -> None:
         super().begin_proof()
         self._challenges: List[int] = []
-        self._base = list(self._table)
+        # Plain ints regardless of backend: this naive fold is Python-level.
+        self._base = [int(v) for v in self._table]
 
     def round_message(self) -> List[int]:
         p = self.field.p

@@ -1,0 +1,128 @@
+"""Scalar vs vectorized wall-clock — the proof of speed for the backend.
+
+Measures the two hot paths the VectorizedField backend accelerates, at
+u ∈ {2^12, 2^16, 2^20} on the Section 5 workload:
+
+* verifier updates/sec: ``StreamingLDE.process_stream`` (per-update
+  Python loop) against ``process_stream_batched`` (d = log u, ℓ = 2);
+* prover proof time: the F2 table-folding prover driven through all d
+  rounds on each backend.
+
+Both comparisons also assert bit-identical results (final LDE value,
+per-round messages), so the speedup numbers can never drift away from
+correctness.  Results are appended to ``BENCH_vectorized.json`` via the
+session recorder in ``conftest.py``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import section5_stream
+from repro.core.f2 import F2Prover
+from repro.field.vectorized import HAVE_NUMPY, ScalarBackend, get_backend
+from repro.lde.streaming import DEFAULT_BLOCK, StreamingLDE
+
+SIZES = [1 << 12, 1 << 16, 1 << 20]
+
+#: Acceptance bar: the batched verifier path must beat the scalar
+#: per-update loop by at least this factor at u = 2^20 (d = 20, ℓ = 2).
+REQUIRED_SPEEDUP_AT_2_20 = 10.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+@pytest.mark.parametrize("u", SIZES,
+                         ids=lambda u: "u=2^%d" % (u.bit_length() - 1))
+def test_verifier_updates_scalar_vs_vectorized(u, field,
+                                               vectorized_bench_recorder):
+    updates = list(section5_stream(u).updates())
+    point = field.rand_vector(random.Random(u), u.bit_length() - 1)
+
+    scalar = StreamingLDE(field, u, ell=2, point=point,
+                          backend=ScalarBackend(field))
+    t_scalar, _ = _timed(lambda: scalar.process_stream(updates))
+
+    record = {
+        "measure": "verifier_updates",
+        "u": u,
+        "d": scalar.d,
+        "ell": 2,
+        "updates": len(updates),
+        "block": DEFAULT_BLOCK,
+        "scalar_seconds": t_scalar,
+        "scalar_updates_per_sec": len(updates) / t_scalar,
+    }
+    if HAVE_NUMPY:
+        vector = StreamingLDE(field, u, ell=2, point=point,
+                              backend=get_backend(field, "vectorized"))
+        t_vector, _ = _timed(
+            lambda: vector.process_stream_batched(updates, block=DEFAULT_BLOCK)
+        )
+        # Byte-identical final LDE value: the acceptance bar for the
+        # batched path, checked at full benchmark scale.
+        assert vector.value == scalar.value
+        assert vector.updates_processed == scalar.updates_processed
+        speedup = t_scalar / t_vector
+        record.update(
+            vectorized_seconds=t_vector,
+            vectorized_updates_per_sec=len(updates) / t_vector,
+            speedup=speedup,
+        )
+        if u >= 1 << 20:
+            assert speedup >= REQUIRED_SPEEDUP_AT_2_20, (
+                "batched LDE only %.1fx faster than the scalar loop at "
+                "u=2^20 (required %.0fx)" % (speedup, REQUIRED_SPEEDUP_AT_2_20)
+            )
+    vectorized_bench_recorder.append(record)
+
+
+def _drive_prover(prover, challenges):
+    prover.begin_proof()
+    messages = []
+    for j in range(prover.d):
+        messages.append([int(v) for v in prover.round_message()])
+        if j < prover.d - 1:
+            prover.receive_challenge(challenges[j])
+    return messages
+
+
+@pytest.mark.parametrize("u", SIZES,
+                         ids=lambda u: "u=2^%d" % (u.bit_length() - 1))
+def test_f2_prover_scalar_vs_vectorized(u, field, vectorized_bench_recorder):
+    stream = section5_stream(u)
+    d = u.bit_length() - 1
+    challenges = field.rand_vector(random.Random(u + 1), d)
+
+    scalar = F2Prover(field, u, backend=ScalarBackend(field))
+    scalar.process_stream(stream.updates())
+    t_scalar, scalar_messages = _timed(
+        lambda: _drive_prover(scalar, challenges)
+    )
+
+    record = {
+        "measure": "f2_prover",
+        "u": u,
+        "d": d,
+        "ell": 2,
+        "scalar_seconds": t_scalar,
+    }
+    if HAVE_NUMPY:
+        vector = F2Prover(field, u, backend=get_backend(field, "vectorized"))
+        vector.process_stream(stream.updates())
+        t_vector, vector_messages = _timed(
+            lambda: _drive_prover(vector, challenges)
+        )
+        # Identical transcripts across backends, at benchmark scale.
+        assert vector_messages == scalar_messages
+        record.update(
+            vectorized_seconds=t_vector, speedup=t_scalar / t_vector
+        )
+    vectorized_bench_recorder.append(record)

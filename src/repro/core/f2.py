@@ -25,19 +25,31 @@ from repro.core.base import (
 )
 from repro.field.modular import PrimeField
 from repro.field.polynomial import evaluate_from_evals
+from repro.field.vectorized import (
+    canonical_table,
+    ensure_backend_array,
+    fold_pairs,
+    get_backend,
+)
 from repro.lde.streaming import StreamingLDE
 
 
 class F2Prover:
-    """Honest prover: stores the frequency vector, folds it per round."""
+    """Honest prover: stores the frequency vector, folds it per round.
 
-    def __init__(self, field: PrimeField, u: int):
+    With a vectorized backend the per-round message and fold run as whole-
+    array operations; the scalar path below is the reference
+    implementation and produces identical messages.
+    """
+
+    def __init__(self, field: PrimeField, u: int, backend=None):
         self.field = field
         self.u = u
         self.d = pow2_dimension(u)
         self.size = 1 << self.d
+        self.backend = backend if backend is not None else get_backend(field)
         self.freq: List[int] = [0] * self.size
-        self._table: Optional[List[int]] = None
+        self._table = None
 
     # -- stream phase -------------------------------------------------------
 
@@ -55,8 +67,7 @@ class F2Prover:
     # -- proof phase ---------------------------------------------------------
 
     def begin_proof(self) -> None:
-        p = self.field.p
-        self._table = [f % p for f in self.freq]
+        self._table = canonical_table(self.backend, self.field, self.freq)
 
     def round_message(self) -> List[int]:
         """Evaluations [g_j(0), g_j(1), g_j(2)] of the round polynomial.
@@ -67,7 +78,17 @@ class F2Prover:
         if self._table is None:
             raise RuntimeError("begin_proof() must be called first")
         p = self.field.p
-        table = self._table
+        be = self.backend
+        table = self._table = ensure_backend_array(be, self._table)
+        if getattr(be, "vectorized", False):
+            lo = table[0::2]
+            hi = table[1::2]
+            at2 = be.sub(be.add(hi, hi), lo)
+            return [
+                be.sum(be.mul(lo, lo)),
+                be.sum(be.mul(hi, hi)),
+                be.sum(be.mul(at2, at2)),
+            ]
         g0 = 0
         g1 = 0
         g2 = 0
@@ -84,13 +105,7 @@ class F2Prover:
         """Fold the table: A'[t] = (1-r)·A[2t] + r·A[2t+1]."""
         if self._table is None:
             raise RuntimeError("begin_proof() must be called first")
-        p = self.field.p
-        table = self._table
-        one_minus_r = (1 - r) % p
-        self._table = [
-            (one_minus_r * table[t] + r * table[t + 1]) % p
-            for t in range(0, len(table), 2)
-        ]
+        self._table = fold_pairs(self.backend, self.field, self._table, r)
 
 
 class F2Verifier:

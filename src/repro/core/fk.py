@@ -21,13 +21,23 @@ from repro.core.base import (
 )
 from repro.field.modular import PrimeField
 from repro.field.polynomial import evaluate_from_evals
+from repro.field.vectorized import (
+    canonical_table,
+    ensure_backend_array,
+    fold_pairs,
+    get_backend,
+)
 from repro.lde.streaming import StreamingLDE
 
 
 class FkProver:
-    """Honest prover for the k-th frequency moment, table folding as in B.1."""
+    """Honest prover for the k-th frequency moment, table folding as in B.1.
 
-    def __init__(self, field: PrimeField, u: int, k: int):
+    The degree-k round messages and folds run as whole-array operations
+    under a vectorized backend; the scalar loops are the reference path.
+    """
+
+    def __init__(self, field: PrimeField, u: int, k: int, backend=None):
         if k < 1:
             raise ValueError("moment order k must be >= 1, got %d" % k)
         self.field = field
@@ -35,8 +45,9 @@ class FkProver:
         self.k = k
         self.d = pow2_dimension(u)
         self.size = 1 << self.d
+        self.backend = backend if backend is not None else get_backend(field)
         self.freq: List[int] = [0] * self.size
-        self._table: Optional[List[int]] = None
+        self._table = None
 
     def process(self, i: int, delta: int) -> None:
         self.freq[i] += delta
@@ -49,8 +60,7 @@ class FkProver:
         return sum(f**self.k for f in self.freq)
 
     def begin_proof(self) -> None:
-        p = self.field.p
-        self._table = [f % p for f in self.freq]
+        self._table = canonical_table(self.backend, self.field, self.freq)
 
     def round_message(self) -> List[int]:
         """Evaluations [g(0), ..., g(k)] of the degree-k round polynomial:
@@ -59,7 +69,16 @@ class FkProver:
             raise RuntimeError("begin_proof() must be called first")
         p = self.field.p
         k = self.k
-        table = self._table
+        be = self.backend
+        table = self._table = ensure_backend_array(be, self._table)
+        if getattr(be, "vectorized", False):
+            lo = table[0::2]
+            hi = table[1::2]
+            out = []
+            for c in range(k + 1):
+                line = be.add(be.mul(lo, (1 - c) % p), be.mul(hi, c % p))
+                out.append(be.sum(be.pow(line, k)))
+            return out
         out = []
         for c in range(k + 1):
             one_minus_c = (1 - c) % p
@@ -73,13 +92,7 @@ class FkProver:
     def receive_challenge(self, r: int) -> None:
         if self._table is None:
             raise RuntimeError("begin_proof() must be called first")
-        p = self.field.p
-        table = self._table
-        one_minus_r = (1 - r) % p
-        self._table = [
-            (one_minus_r * table[t] + r * table[t + 1]) % p
-            for t in range(0, len(table), 2)
-        ]
+        self._table = fold_pairs(self.backend, self.field, self._table, r)
 
 
 class FkVerifier:

@@ -37,6 +37,12 @@ from repro.core.reporting import index_query
 from repro.core.subvector import SubVectorProver, TreeHashVerifier
 from repro.field.modular import PrimeField
 from repro.field.polynomial import Polynomial, evaluate_from_evals
+from repro.field.vectorized import (
+    canonical_table,
+    ensure_backend_array,
+    fold_pairs,
+    get_backend,
+)
 from repro.lde.chi import multilinear_chi
 from repro.lde.streaming import StreamingLDE
 
@@ -57,12 +63,13 @@ def _interpolant(field: PrimeField, h: Callable[[int], int], degree_bound: int
 class FrequencyBasedProver:
     """Composite prover: heavy hitters + the h̃ ∘ f̃_a sum-check."""
 
-    def __init__(self, field: PrimeField, u: int, phi: float):
+    def __init__(self, field: PrimeField, u: int, phi: float, backend=None):
         self.field = field
         self.u = u
         self.phi = phi
         self.d = pow2_dimension(u)
         self.size = 1 << self.d
+        self.backend = backend if backend is not None else get_backend(field)
         self.hh = HeavyHittersProver(field, u, phi)
 
     def process(self, i: int, delta: int) -> None:
@@ -82,18 +89,35 @@ class FrequencyBasedProver:
     # -- sum-check phase ------------------------------------------------------
 
     def begin_sumcheck(self, h_tilde: Polynomial, heavy: Dict[int, int]) -> None:
-        p = self.field.p
         self._h_tilde = h_tilde
-        self._table = [f % p for f in self.freq]
+        table = canonical_table(self.backend, self.field, self.freq)
         for idx in heavy:
-            self._table[idx] = 0
+            table[idx] = 0
+        self._table = table
 
     def round_message(self, num_evals: int) -> List[int]:
         """[g(0), ..., g(num_evals-1)] with
         g(c) = Σ_t h̃((1-c)·A[2t] + c·A[2t+1])."""
         p = self.field.p
-        table = self._table
         h_tilde = self._h_tilde
+        be = self.backend
+        table = self._table = ensure_backend_array(be, self._table)
+        if getattr(be, "vectorized", False):
+            lo = table[0::2]
+            hi = table[1::2]
+            coeffs = h_tilde.coeffs
+            out = []
+            for c in range(num_evals):
+                if not coeffs:
+                    out.append(0)
+                    continue
+                line = be.add(be.mul(lo, (1 - c) % p), be.mul(hi, c % p))
+                # Horner over the interpolant's coefficient vector.
+                acc = be.full(len(lo), coeffs[-1])
+                for coef in reversed(coeffs[:-1]):
+                    acc = be.add(be.mul(acc, line), coef)
+                out.append(be.sum(acc))
+            return out
         out = []
         for c in range(num_evals):
             one_minus_c = (1 - c) % p
@@ -105,13 +129,7 @@ class FrequencyBasedProver:
         return out
 
     def receive_challenge(self, r: int) -> None:
-        p = self.field.p
-        table = self._table
-        one_minus_r = (1 - r) % p
-        self._table = [
-            (one_minus_r * table[t] + r * table[t + 1]) % p
-            for t in range(0, len(table), 2)
-        ]
+        self._table = fold_pairs(self.backend, self.field, self._table, r)
 
 
 class FrequencyBasedVerifier:

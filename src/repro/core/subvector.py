@@ -31,6 +31,7 @@ from repro.core.base import (
     rejected,
 )
 from repro.field.modular import PrimeField
+from repro.field.vectorized import canonical_table, fold_pairs, get_backend
 from repro.lde.canonical import dyadic_cover
 
 
@@ -145,14 +146,16 @@ class SubVectorProver:
         field: PrimeField,
         u: int,
         normalized: bool = False,
+        backend=None,
     ):
         self.field = field
         self.u = u
         self.d = pow2_dimension(u)
         self.size = 1 << self.d
         self.normalized = normalized
+        self.backend = backend if backend is not None else get_backend(field)
         self.freq: List[int] = [0] * self.size
-        self._level: Optional[List[int]] = None
+        self._level = None
         self._level_index = 0
         self._plan: Optional[List[List[int]]] = None
         self._query: Optional[Tuple[int, int]] = None
@@ -171,8 +174,7 @@ class SubVectorProver:
             raise ValueError("query range [%d, %d] invalid" % (lo, hi))
         self._query = (lo, hi)
         self._plan = sibling_plan(lo, hi, self.d)
-        p = self.field.p
-        self._level = [f % p for f in self.freq]
+        self._level = canonical_table(self.backend, self.field, self.freq)
         self._level_index = 0
 
     def answer_entries(self) -> List[Tuple[int, int]]:
@@ -191,23 +193,20 @@ class SubVectorProver:
         """(leaf index, value) pairs for the level-0 plan entries."""
         if self._plan is None or self._level is None:
             raise RuntimeError("receive_query() must be called first")
-        return [(idx, self._level[idx]) for idx in self._plan[0]]
+        return [(idx, int(self._level[idx])) for idx in self._plan[0]]
 
     def receive_challenge(self, r_j: int) -> List[Tuple[int, int]]:
         """Fold one level with ``r_j``; return the next level's siblings."""
         if self._plan is None or self._level is None:
             raise RuntimeError("receive_query() must be called first")
-        p = self.field.p
-        zero_weight = (1 - r_j) % p if self.normalized else 1
-        level = self._level
-        self._level = [
-            (zero_weight * level[t] + r_j * level[t + 1]) % p
-            for t in range(0, len(level), 2)
-        ]
+        self._level = fold_pairs(
+            self.backend, self.field, self._level, r_j,
+            zero_weight=None if self.normalized else 1,
+        )
         self._level_index += 1
         j = self._level_index
         if j < self.d:
-            return [(idx, self._level[idx]) for idx in self._plan[j]]
+            return [(idx, int(self._level[idx])) for idx in self._plan[j]]
         return []
 
 

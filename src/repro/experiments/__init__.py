@@ -8,6 +8,7 @@ from repro.experiments.figures import (
     figure_2c,
     figure_3a,
     figure_3b,
+    figure_vectorized,
     ipv6_extrapolation,
     run_all,
     tamper_study,
@@ -32,6 +33,7 @@ __all__ = [
     "figure_2c",
     "figure_3a",
     "figure_3b",
+    "figure_vectorized",
     "format_table",
     "geometric_sizes",
     "ipv6_extrapolation",

@@ -2,6 +2,12 @@
 
 from repro.field.modular import DEFAULT_FIELD, FieldMismatchError, PrimeField
 from repro.field.polynomial import Polynomial, evaluate_from_evals
+from repro.field.vectorized import (
+    HAVE_NUMPY,
+    ScalarBackend,
+    VectorizedField,
+    get_backend,
+)
 from repro.field.primes import (
     MERSENNE_61,
     MERSENNE_127,
@@ -14,13 +20,17 @@ from repro.field.primes import (
 __all__ = [
     "DEFAULT_FIELD",
     "FieldMismatchError",
+    "HAVE_NUMPY",
     "MERSENNE_61",
     "MERSENNE_127",
     "Polynomial",
     "PrimeField",
+    "ScalarBackend",
+    "VectorizedField",
     "bertrand_prime",
     "evaluate_from_evals",
     "field_prime_for",
+    "get_backend",
     "is_prime",
     "next_prime",
 ]

@@ -93,6 +93,8 @@ class PrimeField:
         Standard Montgomery batch-inversion trick: one ``inv`` plus
         ``3(n-1)`` multiplications.  All values must be nonzero mod p.
         """
+        if not values:
+            return []
         p = self.p
         prefix: List[int] = []
         acc = 1
@@ -107,8 +109,7 @@ class PrimeField:
         for k in range(len(values) - 1, 0, -1):
             out[k] = prefix[k - 1] * inv_acc % p
             inv_acc = inv_acc * (values[k] % p) % p
-        if values:
-            out[0] = inv_acc
+        out[0] = inv_acc
         return out
 
     # -- randomness and sizes ------------------------------------------------

@@ -1,0 +1,512 @@
+"""Vectorized field backends over NumPy arrays.
+
+The hot paths of the library — per-update LDE maintenance (Theorem 1),
+the provers' O(u·d) table folds, and the sum-check round messages — are
+all elementwise ``Z_p`` arithmetic over long vectors.  This module
+provides a :class:`VectorizedField` that performs those operations on
+whole ``numpy.uint64`` arrays at once, and a :class:`ScalarBackend` with
+the same API over plain Python lists so every caller can be written once
+and degrade gracefully when NumPy is absent.
+
+Three execution paths, chosen per modulus:
+
+* ``p = 2^61 - 1`` (the paper's experimental field): products of two
+  61-bit residues are computed exactly in ``uint64`` by splitting each
+  operand into 32-bit limbs and reducing with the Mersenne identities
+  ``2^61 ≡ 1`` and ``2^64 ≡ 8 (mod p)``.  No intermediate ever reaches
+  ``2^63``, so the arithmetic is overflow-free.
+* ``p < 2^32``: a product of two residues fits in ``uint64`` directly.
+* any other odd prime (e.g. ``2^127 - 1``): ``object``-dtype arrays of
+  Python ints — still one NumPy ufunc call per vector op, just without
+  the machine-word speedup.
+
+Backend selection is exposed through :func:`get_backend`; the
+``REPRO_BACKEND`` environment variable (``auto`` / ``vectorized`` /
+``scalar``) overrides the default, which is "vectorized whenever NumPy
+imports".  NumPy remains an optional dependency.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from itertools import chain
+from typing import List, Sequence, Tuple, Union
+
+from repro.field.modular import PrimeField
+
+try:  # NumPy is optional; everything degrades to the scalar backend.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: Environment variable consulted by :func:`get_backend`.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_MERSENNE_61 = (1 << 61) - 1
+
+if HAVE_NUMPY:
+    _U3 = _np.uint64(3)
+    _U29 = _np.uint64(29)
+    _U32 = _np.uint64(32)
+    _U61 = _np.uint64(61)
+    _MASK29 = _np.uint64((1 << 29) - 1)
+    _MASK32 = _np.uint64((1 << 32) - 1)
+    _M61 = _np.uint64(_MERSENNE_61)
+
+
+def _mul_m61(a, b):
+    """Exact ``a * b mod 2^61 - 1`` on canonical uint64 residues.
+
+    32-bit limb split: with ``a = ah·2^32 + al`` and ``b = bh·2^32 + bl``,
+
+        a·b = ah·bh·2^64 + (ah·bl + al·bh)·2^32 + al·bl
+
+    and mod ``p = 2^61 - 1`` the three terms reduce via ``2^64 ≡ 8``,
+    ``m·2^32 = (m >> 29) + (m & (2^29-1))·2^32 (mod p)`` and
+    ``l ≡ (l >> 61) + (l & p)``.  Every partial sum stays below ``2^63``.
+    """
+    ah = a >> _U32
+    al = a & _MASK32
+    bh = b >> _U32
+    bl = b & _MASK32
+    hh = ah * bh  # < 2^58
+    mid = ah * bl + al * bh  # < 2^62
+    ll = al * bl  # < 2^64, exact in uint64
+    acc = (hh << _U3) + ((mid & _MASK29) << _U32) + (mid >> _U29)
+    acc = acc + (ll & _M61) + (ll >> _U61)  # < 3·2^61 + 2^34 < 2^63
+    acc = (acc & _M61) + (acc >> _U61)
+    acc = (acc & _M61) + (acc >> _U61)
+    return _np.where(acc >= _M61, acc - _M61, acc)
+
+
+class ScalarBackend:
+    """Pure-Python backend: "arrays" are plain lists of canonical ints.
+
+    Mirrors the :class:`VectorizedField` API one-for-one so protocol code
+    written against the backend seam runs unchanged when NumPy is not
+    installed (or when ``REPRO_BACKEND=scalar`` forces the reference
+    path).
+    """
+
+    name = "scalar"
+    vectorized = False
+
+    def __init__(self, field: PrimeField):
+        self.field = field
+        self.p = field.p
+
+    # -- array construction -------------------------------------------------
+
+    def asarray(self, values: Sequence[int]) -> List[int]:
+        p = self.p
+        return [int(v) % p for v in values]
+
+    def to_list(self, arr: Sequence[int]) -> List[int]:
+        return [int(v) for v in arr]
+
+    def zeros(self, n: int) -> List[int]:
+        return [0] * n
+
+    def full(self, n: int, value: int) -> List[int]:
+        return [int(value) % self.p] * n
+
+    def index_array(self, values: Sequence[int]) -> List[int]:
+        return [int(v) for v in values]
+
+    # -- elementwise arithmetic --------------------------------------------
+
+    @staticmethod
+    def _pairs(a, b):
+        a_seq = isinstance(a, (list, tuple))
+        b_seq = isinstance(b, (list, tuple))
+        if a_seq and b_seq:
+            if len(a) != len(b):
+                raise ValueError("length mismatch in elementwise op")
+            return zip(a, b)
+        if a_seq:
+            return ((x, b) for x in a)
+        if b_seq:
+            return ((a, y) for y in b)
+        return iter([(a, b)])
+
+    def reduce(self, arr: Sequence[int]) -> List[int]:
+        p = self.p
+        return [int(v) % p for v in arr]
+
+    def add(self, a, b) -> List[int]:
+        p = self.p
+        return [(x + y) % p for x, y in self._pairs(a, b)]
+
+    def sub(self, a, b) -> List[int]:
+        p = self.p
+        return [(x - y) % p for x, y in self._pairs(a, b)]
+
+    def neg(self, arr: Sequence[int]) -> List[int]:
+        p = self.p
+        return [(-v) % p for v in arr]
+
+    def mul(self, a, b) -> List[int]:
+        p = self.p
+        return [x * y % p for x, y in self._pairs(a, b)]
+
+    def pow(self, arr: Sequence[int], e: int) -> List[int]:
+        field = self.field
+        return [field.pow(v, e) for v in arr]
+
+    def take(self, arr: Sequence[int], idx: Sequence[int]) -> List[int]:
+        return [arr[i] for i in idx]
+
+    def outer_flat(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Flattened outer product: ``out[i + len(a)·j] = a[i]·b[j]``."""
+        p = self.p
+        return [x * y % p for y in b for x in a]
+
+    def pair_columns(self, pairs: Sequence[Tuple[int, int]]):
+        """Split a sequence of ``(a, b)`` pairs into two columns."""
+        if not pairs:
+            return [], []
+        first, second = zip(*pairs)
+        return list(first), list(second)
+
+    # -- aggregates ----------------------------------------------------------
+
+    def sum(self, arr: Sequence[int]) -> int:
+        return sum(arr) % self.p
+
+    def prod(self, arr: Sequence[int]) -> int:
+        return self.field.prod(arr)
+
+    def dot(self, xs: Sequence[int], ys: Sequence[int]) -> int:
+        return self.field.dot(xs, ys)
+
+    def batch_inv(self, arr: Sequence[int]) -> List[int]:
+        return self.field.batch_inv(list(arr))
+
+    # -- randomness ----------------------------------------------------------
+
+    def rand_vector(self, rng: random.Random, length: int) -> List[int]:
+        return self.field.rand_vector(rng, length)
+
+    def __repr__(self) -> str:
+        return "ScalarBackend(p=%d)" % self.p
+
+
+class VectorizedField:
+    """NumPy-backed ``Z_p`` arithmetic on whole arrays.
+
+    Arrays handed between methods are always *canonical*: every element in
+    ``[0, p)``, dtype ``uint64`` (or ``object`` for primes that do not fit
+    the machine-word paths).  Scalar operands may be arbitrary Python ints
+    (negative values are reduced, which is how stream deletions enter).
+    """
+
+    name = "vectorized"
+    vectorized = True
+
+    def __init__(self, field: PrimeField):
+        if _np is None:
+            raise RuntimeError(
+                "VectorizedField requires numpy; install it or use "
+                "ScalarBackend / REPRO_BACKEND=scalar"
+            )
+        self.field = field
+        self.p = field.p
+        self._is_m61 = field.p == _MERSENNE_61
+        if self._is_m61 or field.p < (1 << 32):
+            self.dtype = _np.uint64
+        else:
+            self.dtype = object
+
+    # -- array construction -------------------------------------------------
+
+    def asarray(self, values):
+        """Canonical array from any mix of Python ints / NumPy arrays."""
+        p = self.p
+        if self.dtype is object:
+            seq = [int(v) % p for v in values]
+            out = _np.empty(len(seq), dtype=object)
+            out[:] = seq
+            return out
+        if isinstance(values, _np.ndarray):
+            if values.dtype == _np.uint64:
+                return _np.mod(values, _np.uint64(p))
+            if values.dtype.kind == "i":
+                v = values.astype(_np.int64, copy=False)
+                return _np.mod(v, _np.int64(p)).astype(_np.uint64)
+            values = values.tolist()
+        elif not isinstance(values, (list, tuple)):
+            values = list(values)
+        try:
+            # Fast path: machine-word ints reduce vectorized (p < 2^62, so
+            # the int64 remainder is already the canonical residue).
+            arr = _np.fromiter(values, dtype=_np.int64, count=len(values))
+        except (OverflowError, TypeError):
+            return _np.fromiter(
+                (int(v) % p for v in values),
+                dtype=_np.uint64,
+                count=len(values),
+            )
+        return _np.mod(arr, _np.int64(p)).astype(_np.uint64)
+
+    def to_list(self, arr) -> List[int]:
+        return [int(v) for v in arr]
+
+    def zeros(self, n: int):
+        if self.dtype is object:
+            out = _np.empty(n, dtype=object)
+            out[:] = 0
+            return out
+        return _np.zeros(n, dtype=_np.uint64)
+
+    def full(self, n: int, value: int):
+        value = int(value) % self.p
+        if self.dtype is object:
+            out = _np.empty(n, dtype=object)
+            out[:] = value
+            return out
+        return _np.full(n, value, dtype=_np.uint64)
+
+    def index_array(self, values):
+        """Signed index array for table gathers (keys, digit vectors)."""
+        if not isinstance(values, (list, tuple)):
+            values = list(values)
+        return _np.fromiter(values, dtype=_np.int64, count=len(values))
+
+    def _norm(self, x):
+        """Coerce a scalar operand to a canonical residue; pass arrays."""
+        if isinstance(x, _np.ndarray):
+            return x
+        if self.dtype is object:
+            return int(x) % self.p
+        return _np.uint64(int(x) % self.p)
+
+    # -- elementwise arithmetic --------------------------------------------
+
+    def reduce(self, arr):
+        if self.dtype is object:
+            return arr % self.p
+        return _np.mod(arr, _np.uint64(self.p))
+
+    def _both_scalars(self, a, b) -> bool:
+        # numpy 2.x scalar integer ops emit overflow RuntimeWarnings (the
+        # np.where wraparound branch is evaluated eagerly); plain ints are
+        # exact and warning-free, so 0-d operands never enter the array
+        # kernels.
+        return not isinstance(a, _np.ndarray) and not isinstance(b, _np.ndarray)
+
+    def add(self, a, b):
+        if self._both_scalars(a, b):
+            return self._norm((int(a) + int(b)) % self.p)
+        a = self._norm(a)
+        b = self._norm(b)
+        if self.dtype is object:
+            return (a + b) % self.p
+        p = _np.uint64(self.p)
+        s = a + b  # both < p < 2^61, no overflow
+        return _np.where(s >= p, s - p, s)
+
+    def sub(self, a, b):
+        if self._both_scalars(a, b):
+            return self._norm((int(a) - int(b)) % self.p)
+        a = self._norm(a)
+        b = self._norm(b)
+        if self.dtype is object:
+            return (a - b) % self.p
+        p = _np.uint64(self.p)
+        s = a + (p - b)  # in (0, 2p)
+        return _np.where(s >= p, s - p, s)
+
+    def neg(self, arr):
+        if not isinstance(arr, _np.ndarray):
+            return self._norm((-int(arr)) % self.p)
+        arr = self._norm(arr)
+        if self.dtype is object:
+            return (-arr) % self.p
+        p = _np.uint64(self.p)
+        return _np.where(arr == 0, arr, p - arr)
+
+    def mul(self, a, b):
+        if self._both_scalars(a, b):
+            return self._norm(int(a) * int(b) % self.p)
+        a = self._norm(a)
+        b = self._norm(b)
+        if self.dtype is object:
+            return (a * b) % self.p
+        if self._is_m61:
+            return _mul_m61(a, b)
+        return (a * b) % _np.uint64(self.p)  # p < 2^32: product is exact
+
+    def pow(self, arr, e: int):
+        """Elementwise ``arr**e mod p`` by square-and-multiply."""
+        a = arr if isinstance(arr, _np.ndarray) else self.asarray(arr)
+        if e < 0:
+            return self.pow(self.batch_inv(a), -e)
+        result = self.full(a.shape[0], 1)
+        base = a
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            e >>= 1
+            if e:
+                base = self.mul(base, base)
+        return result
+
+    def take(self, arr, idx):
+        return arr[idx]
+
+    def outer_flat(self, a, b):
+        """Flattened outer product: ``out[i + len(a)·j] = a[i]·b[j]``."""
+        a = a if isinstance(a, _np.ndarray) else self.asarray(a)
+        b = b if isinstance(b, _np.ndarray) else self.asarray(b)
+        return self.mul(_np.tile(a, b.shape[0]), _np.repeat(b, a.shape[0]))
+
+    def pair_columns(self, pairs):
+        """Split ``(a, b)`` pairs into two int64 column arrays.
+
+        One C-level pass over the flattened pair stream; raises
+        OverflowError when a value does not fit int64 (callers fall back
+        to a Python-level path).
+        """
+        n = len(pairs)
+        flat = _np.fromiter(
+            chain.from_iterable(pairs), dtype=_np.int64, count=2 * n
+        ).reshape(n, 2)
+        return flat[:, 0], flat[:, 1]
+
+    # -- aggregates ----------------------------------------------------------
+
+    def sum(self, arr) -> int:
+        """Exact sum mod p of a canonical array (any length < 2^32)."""
+        if self.dtype is object:
+            return int(_np.sum(arr)) % self.p if arr.size else 0
+        a = arr if isinstance(arr, _np.ndarray) else self.asarray(arr)
+        # Elements are < 2^61: summing the 32-bit halves separately keeps
+        # both accumulators far from uint64 overflow.
+        hi = int(_np.sum(a >> _U32, dtype=_np.uint64))
+        lo = int(_np.sum(a & _MASK32, dtype=_np.uint64))
+        return ((hi << 32) + lo) % self.p
+
+    def dot(self, xs, ys) -> int:
+        xs = xs if isinstance(xs, _np.ndarray) else self.asarray(xs)
+        ys = ys if isinstance(ys, _np.ndarray) else self.asarray(ys)
+        if xs.shape != ys.shape:
+            raise ValueError("dot of vectors with different lengths")
+        return self.sum(self.mul(xs, ys))
+
+    def prod(self, arr) -> int:
+        a = arr if isinstance(arr, _np.ndarray) else self.asarray(arr)
+        acc = 1
+        p = self.p
+        while a.size > 1:
+            if a.size & 1:
+                acc = acc * int(a[-1]) % p
+                a = a[:-1]
+            a = self.mul(a[0::2], a[1::2])
+        if a.size:
+            acc = acc * int(a[0]) % p
+        return acc
+
+    def batch_inv(self, arr):
+        """Elementwise inverses via one vectorized ``a^(p-2)`` ladder.
+
+        ~2·log2(p) whole-array multiplications — far fewer Python-level
+        steps than the sequential Montgomery trick for large arrays.
+        """
+        a = arr if isinstance(arr, _np.ndarray) else self.asarray(arr)
+        if a.size and bool(_np.any(a == (0 if self.dtype is object else _np.uint64(0)))):
+            raise ZeroDivisionError("batch_inv of a zero element")
+        return self.pow(a, self.p - 2)
+
+    # -- randomness ----------------------------------------------------------
+
+    def rand_vector(self, rng: random.Random, length: int):
+        """Same draw sequence as :meth:`PrimeField.rand_vector`."""
+        return self.asarray([rng.randrange(self.p) for _ in range(length)])
+
+    def __repr__(self) -> str:
+        return "VectorizedField(p=%d, dtype=%s)" % (
+            self.p,
+            "object" if self.dtype is object else "uint64",
+        )
+
+
+Backend = Union[ScalarBackend, VectorizedField]
+
+
+def ensure_backend_array(backend: Backend, table):
+    """Coerce a prover table to the backend's array type.
+
+    Subclasses (e.g. the adversarial provers) sometimes rebuild ``_table``
+    as a plain list; under a vectorized backend the folding code converts
+    it back once instead of failing.
+    """
+    if getattr(backend, "vectorized", False) and isinstance(table, (list, tuple)):
+        return backend.asarray(table)
+    return table
+
+
+def canonical_table(backend: Backend, field: PrimeField, values) -> object:
+    """Proof table from a raw (integer) frequency vector.
+
+    Backend array under a vectorized backend, list of canonical residues
+    otherwise — the shared first step of every table-folding prover.
+    """
+    if getattr(backend, "vectorized", False):
+        return backend.asarray(values)
+    p = field.p
+    return [v % p for v in values]
+
+
+def fold_pairs(backend: Backend, field: PrimeField, table, r: int,
+               zero_weight: int = None):
+    """One table fold: ``T'[t] = w0·T[2t] + r·T[2t+1] (mod p)``.
+
+    The Appendix B.1 step shared by the sum-check provers (where
+    ``w0 = 1 - r``, the default) and the tree-hash prover (which passes
+    ``zero_weight=1`` for the unnormalized variant).  Accepts list or
+    backend-array tables; returns the same kind it was given.
+    """
+    p = field.p
+    r %= p
+    w0 = (1 - r) % p if zero_weight is None else zero_weight % p
+    table = ensure_backend_array(backend, table)
+    if getattr(backend, "vectorized", False):
+        return backend.add(
+            backend.mul(table[0::2], w0), backend.mul(table[1::2], r)
+        )
+    return [
+        (w0 * table[t] + r * table[t + 1]) % p
+        for t in range(0, len(table), 2)
+    ]
+
+
+def get_backend(field: PrimeField, name: str = None) -> Backend:
+    """Select the compute backend for ``field``.
+
+    ``name`` is ``"auto"``, ``"vectorized"`` or ``"scalar"``; when omitted
+    it is read from the ``REPRO_BACKEND`` environment variable (default
+    ``auto``).  ``auto`` picks :class:`VectorizedField` whenever NumPy is
+    importable and falls back to :class:`ScalarBackend` otherwise;
+    requesting ``vectorized`` without NumPy is an error.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR, "auto").strip().lower() or "auto"
+    if name == "scalar":
+        return ScalarBackend(field)
+    if name == "vectorized":
+        if not HAVE_NUMPY:
+            raise RuntimeError(
+                "the vectorized backend was requested but numpy is not "
+                "installed (unset %s or install numpy)" % BACKEND_ENV_VAR
+            )
+        return VectorizedField(field)
+    if name != "auto":
+        raise ValueError(
+            "unknown backend %r (expected auto, vectorized or scalar)" % name
+        )
+    if HAVE_NUMPY:
+        return VectorizedField(field)
+    return ScalarBackend(field)

@@ -15,17 +15,43 @@ from typing import Callable, List, Sequence
 from repro.field.modular import PrimeField
 
 #: A multivariate polynomial presented as an evaluation closure.
+#: The point argument is a *reused* buffer (see :func:`boolean_sum` /
+#: :func:`round_message`): read it synchronously and copy (e.g. slice)
+#: anything you retain past the call.
 Evaluator = Callable[[Sequence[int]], int]
 
 
-def boolean_sum(field: PrimeField, f: Evaluator, num_vars: int) -> int:
-    """Σ over {0,1}^num_vars of f — the quantity sum-check certifies."""
-    p = field.p
-    total = 0
-    for mask in range(1 << num_vars):
-        point = [(mask >> j) & 1 for j in range(num_vars)]
+def _suffix_sum(f: Evaluator, point: List[int], offset: int, count: int) -> int:
+    """Sum of ``f`` over all 0/1 settings of ``point[offset:offset+count]``.
+
+    The boolean suffix is enumerated as a binary counter directly into the
+    caller's ``point`` buffer: per step only the bits that flip are
+    rewritten (amortised 2 writes), so no per-evaluation list is
+    allocated.  ``point[offset:offset+count]`` must be all zeros on entry
+    and is restored to zeros on exit.
+    """
+    total = f(point)
+    for mask in range(1, 1 << count):
+        flipped = mask ^ (mask - 1)
+        t = 0
+        while flipped:
+            point[offset + t] = (mask >> t) & 1
+            flipped >>= 1
+            t += 1
         total += f(point)
-    return total % p
+    for t in range(count):
+        point[offset + t] = 0
+    return total
+
+
+def boolean_sum(field: PrimeField, f: Evaluator, num_vars: int) -> int:
+    """Σ over {0,1}^num_vars of f — the quantity sum-check certifies.
+
+    ``f`` receives one shared point buffer across all ``2^num_vars``
+    evaluations; it must not retain the list without copying it.
+    """
+    point = [0] * num_vars
+    return _suffix_sum(f, point, 0, num_vars) % field.p
 
 
 def round_message(
@@ -39,20 +65,17 @@ def round_message(
 
         g_j(c) = Σ_{suffix ∈ {0,1}^{num_vars-j-1}} f(prefix, c, suffix)
 
-    where j = len(prefix).
+    where j = len(prefix).  As in :func:`boolean_sum`, ``f`` sees one
+    shared point buffer; copy before retaining.
     """
     p = field.p
     j = len(prefix)
     remaining = num_vars - j - 1
     if remaining < 0:
         raise ValueError("prefix longer than the variable count")
+    point = list(prefix) + [0] * (1 + remaining)
     out = []
     for c in range(degree + 1):
-        acc = 0
-        for mask in range(1 << remaining):
-            point = list(prefix) + [c] + [
-                (mask >> t) & 1 for t in range(remaining)
-            ]
-            acc += f(point)
-        out.append(acc % p)
+        point[j] = c
+        out.append(_suffix_sum(f, point, j + 1, remaining) % p)
     return out

@@ -8,6 +8,7 @@ from repro.lde.canonical import (
 )
 from repro.lde.chi import (
     chi_table,
+    chi_table_batch,
     chi_value,
     digits,
     from_digits,
@@ -20,6 +21,7 @@ __all__ = [
     "MultipointStreamingLDE",
     "StreamingLDE",
     "chi_table",
+    "chi_table_batch",
     "chi_value",
     "cover_is_partition",
     "digits",

@@ -11,9 +11,11 @@ indicator of ``v ∈ [ℓ]^d`` is the product ``χ_v(x) = Π_j χ_{v_j}(x_j)``
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
 from repro.field.modular import PrimeField
+from repro.field.vectorized import get_backend
 
 
 def digits(i: int, ell: int, d: int) -> List[int]:
@@ -61,26 +63,9 @@ def chi_value(field: PrimeField, ell: int, k: int, x: int) -> int:
     return num * field.inv(den) % p
 
 
-def chi_table(field: PrimeField, ell: int, x: int) -> List[int]:
-    """All basis values ``[χ_0(x), ..., χ_{ℓ-1}(x)]`` in O(ℓ) total.
-
-    Uses prefix/suffix products of ``(x - j)`` and a batch inversion of the
-    factorial denominators, so building the per-dimension lookup tables for
-    a streaming LDE costs O(dℓ) once instead of O(dℓ) *per update*.
-    """
-    p = field.p
-    x %= p
-    if x < ell:
-        # x lies in the evaluation set: the table is an indicator vector.
-        out = [0] * ell
-        out[x] = 1
-        return out
-    prefix = [1] * ell  # prefix[k] = prod_{j<k} (x - j)
-    for k in range(1, ell):
-        prefix[k] = prefix[k - 1] * (x - (k - 1)) % p
-    suffix = [1] * ell  # suffix[k] = prod_{j>k} (x - j)
-    for k in range(ell - 2, -1, -1):
-        suffix[k] = suffix[k + 1] * (x - (k + 1)) % p
+@lru_cache(maxsize=512)
+def _chi_denominator_inverses(p: int, ell: int) -> Tuple[int, ...]:
+    """Inverses of ``Π_{j != k} (k - j)`` for all k — independent of x."""
     denoms = []
     for k in range(ell):
         d = 1
@@ -88,8 +73,105 @@ def chi_table(field: PrimeField, ell: int, x: int) -> List[int]:
             if j != k:
                 d = d * (k - j) % p
         denoms.append(d)
-    inverses = field.batch_inv(denoms)
-    return [prefix[k] * suffix[k] % p * inverses[k] % p for k in range(ell)]
+    # Montgomery batch inversion with plain ints (no PrimeField needed).
+    prefix = []
+    acc = 1
+    for d in denoms:
+        acc = acc * d % p
+        prefix.append(acc)
+    inv_acc = pow(acc, p - 2, p)
+    out = [0] * ell
+    for k in range(ell - 1, 0, -1):
+        out[k] = prefix[k - 1] * inv_acc % p
+        inv_acc = inv_acc * denoms[k] % p
+    out[0] = inv_acc
+    return tuple(out)
+
+
+#: Tables wider than this bypass the memoisation cache: the cache exists
+#: for the ℓ = 2..16 protocol tables that are rebuilt constantly, not
+#: for the ℓ ~ √u single-round tables, which would pin large memory.
+_CHI_CACHE_MAX_ELL = 64
+
+
+def _chi_table_impl(p: int, ell: int, x: int) -> Tuple[int, ...]:
+    """Body of :func:`chi_table`; ``x`` is canonical in ``[0, p)``."""
+    if x < ell:
+        # x lies in the evaluation set: the table is an indicator vector.
+        out = [0] * ell
+        out[x] = 1
+        return tuple(out)
+    prefix = [1] * ell  # prefix[k] = prod_{j<k} (x - j)
+    for k in range(1, ell):
+        prefix[k] = prefix[k - 1] * (x - (k - 1)) % p
+    suffix = [1] * ell  # suffix[k] = prod_{j>k} (x - j)
+    for k in range(ell - 2, -1, -1):
+        suffix[k] = suffix[k + 1] * (x - (k + 1)) % p
+    inverses = _chi_denominator_inverses(p, ell)
+    return tuple(
+        prefix[k] * suffix[k] % p * inverses[k] % p for k in range(ell)
+    )
+
+
+_chi_table_cached = lru_cache(maxsize=4096)(_chi_table_impl)
+
+
+def chi_table(field: PrimeField, ell: int, x: int) -> List[int]:
+    """All basis values ``[χ_0(x), ..., χ_{ℓ-1}(x)]`` in O(ℓ) total.
+
+    Uses prefix/suffix products of ``(x - j)`` and a batch inversion of the
+    factorial denominators, so building the per-dimension lookup tables for
+    a streaming LDE costs O(dℓ) once instead of O(dℓ) *per update*.
+
+    Results for small ℓ are memoised on ``(p, ℓ, x)``:
+    :class:`MultipointStreamingLDE` instances sharing coordinates and
+    repeated protocol repetitions reuse tables instead of recomputing
+    them.  Wide tables (ℓ > 64, e.g. the single-round √u grids) are
+    computed fresh to keep the cache's footprint bounded.
+    """
+    x %= field.p
+    if ell > _CHI_CACHE_MAX_ELL:
+        return list(_chi_table_impl(field.p, ell, x))
+    return list(_chi_table_cached(field.p, ell, x))
+
+
+def chi_table_batch(
+    field: PrimeField,
+    ell: int,
+    xs: Sequence[int],
+    backend=None,
+) -> List[List[int]]:
+    """Basis tables for many evaluation points in one shot.
+
+    Equivalent to ``[chi_table(field, ell, x) for x in xs]`` but, under a
+    vectorized backend, the prefix/suffix numerator products run across
+    the whole point axis at once (the denominators are point-independent
+    and cached).  This is how a streaming LDE builds all ``d`` of its
+    per-dimension tables together.
+    """
+    p = field.p
+    xs = [x % p for x in xs]
+    be = backend if backend is not None else get_backend(field)
+    if not getattr(be, "vectorized", False) or len(xs) < 2:
+        return [chi_table(field, ell, x) for x in xs]
+    arr = be.asarray(xs)
+    m = len(xs)
+    prefixes = [be.full(m, 1)]  # prefixes[k][t] = prod_{j<k} (xs[t] - j)
+    for k in range(1, ell):
+        prefixes.append(be.mul(prefixes[-1], be.sub(arr, k - 1)))
+    suffixes: List = [None] * ell  # suffixes[k][t] = prod_{j>k} (xs[t] - j)
+    suffixes[ell - 1] = be.full(m, 1)
+    for k in range(ell - 2, -1, -1):
+        suffixes[k] = be.mul(suffixes[k + 1], be.sub(arr, k + 1))
+    inverses = _chi_denominator_inverses(p, ell)
+    # The prefix·suffix·inv(denom) formula is exact for *every* x, including
+    # points inside the evaluation set (one factor vanishes off-index and
+    # the full numerator cancels the denominator on-index).
+    columns = [
+        be.to_list(be.mul(be.mul(prefixes[k], suffixes[k]), inverses[k]))
+        for k in range(ell)
+    ]
+    return [[columns[k][t] for k in range(ell)] for t in range(m)]
 
 
 def multilinear_chi(field: PrimeField, bits: Sequence[int], point: Sequence[int]) -> int:

@@ -1,0 +1,151 @@
+"""Property-style equivalence: VectorizedField agrees with PrimeField.
+
+Every backend op is checked against the scalar reference on random
+batches — including negative values (stream deletions), values >= p, and
+the edge residues {0, 1, p-1} — for each of the three execution paths:
+the Mersenne-61 limb arithmetic, the direct uint64 path (p < 2^32), and
+the object-dtype fallback (p >= 2^32, not 2^61 - 1).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.field.modular import PrimeField
+from repro.field.primes import MERSENNE_61, MERSENNE_127
+from repro.field.vectorized import (
+    HAVE_NUMPY,
+    ScalarBackend,
+    VectorizedField,
+    get_backend,
+)
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+#: One prime per execution path: Mersenne-61, small (direct uint64),
+#: mid-size object-dtype, and the Section 5 footnote field 2^127 - 1.
+PRIMES = [MERSENNE_61, 97, (1 << 31) - 1, (1 << 89) - 1, MERSENNE_127]
+
+
+def sample_values(p: int, rng: random.Random, n: int = 400):
+    edge = [0, 1, p - 1, p, p + 1, 2 * p - 1, -1, -p, -(p - 1)]
+    body = [rng.randrange(-3 * p, 3 * p) for _ in range(n - len(edge))]
+    return edge + body
+
+
+@pytest.fixture(params=PRIMES, ids=lambda p: "p=%d" % p)
+def setup(request):
+    p = request.param
+    field = PrimeField(p, check_prime=False)
+    rng = random.Random(p % 1009)
+    xs = sample_values(p, rng)
+    ys = sample_values(p, random.Random(p % 2003 + 1))
+    return field, VectorizedField(field), xs, ys
+
+
+def test_asarray_canonicalizes(setup):
+    field, be, xs, _ = setup
+    assert be.to_list(be.asarray(xs)) == [x % field.p for x in xs]
+
+
+def test_elementwise_ops_match_scalar(setup):
+    field, be, xs, ys = setup
+    ax, ay = be.asarray(xs), be.asarray(ys)
+    assert be.to_list(be.add(ax, ay)) == [field.add(x, y) for x, y in zip(xs, ys)]
+    assert be.to_list(be.sub(ax, ay)) == [field.sub(x, y) for x, y in zip(xs, ys)]
+    assert be.to_list(be.mul(ax, ay)) == [field.mul(x, y) for x, y in zip(xs, ys)]
+    assert be.to_list(be.neg(ax)) == [field.neg(x) for x in xs]
+
+
+def test_scalar_broadcast_operands(setup):
+    field, be, xs, _ = setup
+    ax = be.asarray(xs)
+    for c in [0, 1, field.p - 1, -7, field.p + 3]:
+        assert be.to_list(be.mul(ax, c)) == [field.mul(x, c) for x in xs]
+        assert be.to_list(be.add(ax, c)) == [field.add(x, c) for x in xs]
+        assert be.to_list(be.sub(ax, c)) == [field.sub(x, c) for x in xs]
+
+
+def test_aggregates_match_scalar(setup):
+    field, be, xs, ys = setup
+    ax, ay = be.asarray(xs), be.asarray(ys)
+    assert be.sum(ax) == field.sum(xs)
+    assert be.dot(ax, ay) == field.dot(xs, ys)
+    assert be.prod(ax) == field.prod(xs)
+
+
+def test_pow_matches_scalar(setup):
+    field, be, xs, _ = setup
+    ax = be.asarray(xs)
+    for e in [0, 1, 2, 3, 7, 61]:
+        assert be.to_list(be.pow(ax, e)) == [field.pow(x, e) for x in xs]
+
+
+def test_batch_inv_matches_scalar(setup):
+    field, be, xs, _ = setup
+    nonzero = [x for x in xs if x % field.p != 0]
+    assert be.to_list(be.batch_inv(be.asarray(nonzero))) == field.batch_inv(
+        nonzero
+    )
+
+
+def test_batch_inv_rejects_zero(setup):
+    field, be, _, _ = setup
+    with pytest.raises(ZeroDivisionError):
+        be.batch_inv(be.asarray([1, 0, 2]))
+
+
+def test_rand_vector_matches_scalar_draws(setup):
+    field, be, _, _ = setup
+    assert be.to_list(be.rand_vector(random.Random(42), 50)) == (
+        field.rand_vector(random.Random(42), 50)
+    )
+
+
+def test_mersenne_mul_exhaustive_near_boundary():
+    """Dense check of the limb arithmetic around the 32-bit split points."""
+    p = MERSENNE_61
+    field = PrimeField(p, check_prime=False)
+    be = VectorizedField(field)
+    specials = [0, 1, 2, (1 << 32) - 1, 1 << 32, (1 << 32) + 1,
+                (1 << 61) - 2, p - 1, (1 << 30), (1 << 59) + 12345]
+    xs = [a for a in specials for _ in specials]
+    ys = [b for _ in specials for b in specials]
+    assert be.to_list(be.mul(be.asarray(xs), be.asarray(ys))) == [
+        a * b % p for a, b in zip(xs, ys)
+    ]
+
+
+def test_scalar_backend_mirror_api():
+    field = PrimeField(MERSENNE_61, check_prime=False)
+    sb = ScalarBackend(field)
+    xs = [-5, 0, 1, field.p, 123456789]
+    assert sb.asarray(xs) == [x % field.p for x in xs]
+    assert sb.mul(xs[:3], 7) == [field.mul(x, 7) for x in xs[:3]]
+    assert sb.sum(xs) == field.sum(xs)
+    assert sb.take([10, 20, 30], [2, 0]) == [30, 10]
+    assert sb.pow([2, 3], 5) == [32, 243]
+
+
+def test_get_backend_selection(monkeypatch):
+    field = PrimeField(MERSENNE_61, check_prime=False)
+    assert get_backend(field, "scalar").vectorized is False
+    assert get_backend(field, "vectorized").vectorized is True
+    monkeypatch.setenv("REPRO_BACKEND", "scalar")
+    assert get_backend(field).vectorized is False
+    monkeypatch.setenv("REPRO_BACKEND", "vectorized")
+    assert get_backend(field).vectorized is True
+    monkeypatch.setenv("REPRO_BACKEND", "auto")
+    assert get_backend(field).vectorized is True
+    with pytest.raises(ValueError):
+        get_backend(field, "no-such-backend")
+
+
+def test_prime_field_batch_inv_empty_and_single():
+    """Regression: batch_inv([]) must return [] (no dangling-tail bug)."""
+    field = PrimeField(MERSENNE_61, check_prime=False)
+    assert field.batch_inv([]) == []
+    assert field.batch_inv([7]) == [field.inv(7)]
+    assert field.batch_inv([field.p - 1]) == [field.p - 1]

@@ -11,6 +11,7 @@ numbers are pure-Python scale — see DESIGN.md §2 and EXPERIMENTS.md.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import platform
 import random
@@ -26,6 +27,21 @@ from repro.streams.generators import uniform_frequency_stream
 BENCH_VECTORIZED_JSON = pathlib.Path(__file__).resolve().parent / (
     "BENCH_vectorized.json"
 )
+
+#: CI smoke knob: when set, the speedup benchmarks run at tiny sizes,
+#: keep all transcript-equality assertions, skip the wall-clock speedup
+#: bars (meaningless at toy sizes), and leave BENCH_vectorized.json
+#: untouched.  This keeps the perf plumbing exercised on every push.
+BENCH_SMOKE_ENV_VAR = "REPRO_BENCH_SMOKE"
+
+
+def bench_smoke() -> bool:
+    return bool(os.environ.get(BENCH_SMOKE_ENV_VAR, "").strip())
+
+
+def bench_sizes(full, smoke):
+    """Benchmark sizes honouring the smoke knob."""
+    return smoke if bench_smoke() else full
 
 
 @pytest.fixture(scope="session")
@@ -43,7 +59,7 @@ def vectorized_bench_recorder():
     """
     records = []
     yield records
-    if records:
+    if records and not bench_smoke():
         numpy_version = None
         if HAVE_NUMPY:
             import numpy

@@ -1,0 +1,100 @@
+"""Scalar vs vectorized Map-Reduce prover — Section 7 on the backend seam.
+
+``sharded_fold`` drives the full distributed F2 proof after streaming:
+per round every worker computes its partial polynomial (three limb-dot
+inner products over its shard) and folds on the revealed challenge; the
+coordinator reduces the stacked partials and plays the last log(workers)
+rounds itself.  The acceptance bar is >= 10x vectorized-vs-scalar at
+u = 2^20 with 8 workers, with message-for-message equality asserted at
+full benchmark scale.
+
+Records are appended to ``BENCH_vectorized.json``; under
+``REPRO_BENCH_SMOKE`` the sizes shrink to CI-friendly toys and only the
+equality assertions remain.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_sizes, bench_smoke, section5_stream
+from repro.distributed.sharded import DistributedF2Prover
+from repro.field.vectorized import HAVE_NUMPY, get_backend
+
+SIZES = bench_sizes(full=[1 << 14, 1 << 20], smoke=[1 << 8])
+
+NUM_WORKERS = 8
+
+#: Acceptance bar: vectorized sharded fold + round messages at u = 2^20.
+REQUIRED_SPEEDUP_AT_2_20 = 10.0
+
+REPS = 3  # best-of reps; perf numbers are min over repetitions
+
+
+@pytest.mark.parametrize("u", SIZES,
+                         ids=lambda u: "u=2^%d" % (u.bit_length() - 1))
+def test_sharded_fold_scalar_vs_vectorized(u, field,
+                                           vectorized_bench_recorder):
+    stream = section5_stream(u)
+    updates = list(stream.updates())
+    d = u.bit_length() - 1
+    challenges = field.rand_vector(random.Random(u + 5), d)
+
+    def drive(backend_name):
+        backend = get_backend(field, backend_name)
+        prover = DistributedF2Prover(field, u, num_workers=NUM_WORKERS,
+                                     backend=backend)
+        prover.process_stream(updates)
+        best = None
+        messages = None
+        for _ in range(REPS):
+            prover.begin_proof()
+            start = time.perf_counter()
+            messages = []
+            for j in range(d):
+                messages.append([int(v) for v in prover.round_message()])
+                if j < d - 1:
+                    prover.receive_challenge(challenges[j])
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return messages, best, prover
+
+    scalar_messages, t_scalar, _ = drive("scalar")
+    record = {
+        "measure": "sharded_fold",
+        "u": u,
+        "d": d,
+        "workers": NUM_WORKERS,
+        "scalar_seconds": t_scalar,
+    }
+    if HAVE_NUMPY:
+        vector_messages, t_vector, prover = drive("vectorized")
+        assert prover.backend.vectorized  # smoke leg checks path selection
+        # Identical wire messages across backends, at benchmark scale.
+        assert vector_messages == scalar_messages
+        # Wall-clock noise from neighbouring benchmarks can squeeze one
+        # drive; re-measure both sides (keeping the per-side best) before
+        # declaring the bar missed.
+        for _attempt in range(2):
+            if (u < 1 << 20 or bench_smoke()
+                    or t_scalar / t_vector >= REQUIRED_SPEEDUP_AT_2_20):
+                break
+            _, t_scalar_again, _ = drive("scalar")
+            _, t_vector_again, _ = drive("vectorized")
+            t_scalar = min(t_scalar, t_scalar_again)
+            t_vector = min(t_vector, t_vector_again)
+        speedup = t_scalar / t_vector
+        record.update(
+            vectorized_seconds=t_vector,
+            speedup=speedup,
+            max_worker_keys=prover.max_worker_keys,
+        )
+        if u >= 1 << 20 and not bench_smoke():
+            assert speedup >= REQUIRED_SPEEDUP_AT_2_20, (
+                "sharded fold only %.1fx faster than scalar at u=2^20 "
+                "(required %.0fx)" % (speedup, REQUIRED_SPEEDUP_AT_2_20)
+            )
+    vectorized_bench_recorder.append(record)

@@ -9,7 +9,7 @@ messages ... in all cases, the protocols caught the error").
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.comm.transcript import PROVER, VERIFIER, Message, Transcript
 
@@ -18,15 +18,40 @@ TamperHook = Callable[[Message], Sequence[int]]
 
 
 class Channel:
-    """Records messages; optionally perturbs prover messages in flight."""
+    """Records messages; optionally perturbs prover messages in flight.
+
+    Batched multi-query protocols (Section 7, "Multiple Queries") tag each
+    message with the query it belongs to via the ``query`` keyword;
+    untagged words accrue to :attr:`shared_words`.  :meth:`query_cost`
+    then yields a per-query figure directly comparable with running the
+    query through an independent protocol instance (the shared challenge
+    words are what every independent run would pay again).
+    """
 
     def __init__(self, tamper: Optional[TamperHook] = None):
         self.transcript = Transcript()
         self.tamper = tamper
         self.tampered_messages = 0
+        self.query_words: Dict[int, int] = {}
+        self.shared_words = 0
+
+    def _charge(self, query: Optional[int], words: int) -> None:
+        if query is None:
+            self.shared_words += words
+        else:
+            self.query_words[query] = self.query_words.get(query, 0) + words
+
+    def query_cost(self, query: int) -> int:
+        """Words attributable to one query of a batch: its own messages
+        plus the shared (challenge) words a standalone run would repay."""
+        return self.query_words.get(query, 0) + self.shared_words
 
     def prover_says(
-        self, round_index: int, label: str, payload: Sequence[int]
+        self,
+        round_index: int,
+        label: str,
+        payload: Sequence[int],
+        query: Optional[int] = None,
     ) -> List[int]:
         """Deliver a prover message; returns the (possibly tampered) payload.
 
@@ -41,15 +66,21 @@ class Channel:
                 self.tampered_messages += 1
             delivered = tampered
         self.transcript.record(PROVER, round_index, label, delivered)
+        self._charge(query, len(delivered))
         return delivered
 
     def verifier_says(
-        self, round_index: int, label: str, payload: Sequence[int]
+        self,
+        round_index: int,
+        label: str,
+        payload: Sequence[int],
+        query: Optional[int] = None,
     ) -> List[int]:
         """Deliver a verifier message (verifier messages are never tampered:
         the adversary is the prover, not the verifier)."""
         delivered = list(payload)
         self.transcript.record(VERIFIER, round_index, label, delivered)
+        self._charge(query, len(delivered))
         return delivered
 
 

@@ -27,7 +27,7 @@ from repro.field.modular import PrimeField
 from repro.field.polynomial import evaluate_from_evals
 from repro.field.vectorized import (
     canonical_table,
-    ensure_backend_array,
+    f2_round_sums,
     fold_pairs,
     get_backend,
 )
@@ -77,29 +77,7 @@ class F2Prover:
         """
         if self._table is None:
             raise RuntimeError("begin_proof() must be called first")
-        p = self.field.p
-        be = self.backend
-        table = self._table = ensure_backend_array(be, self._table)
-        if getattr(be, "vectorized", False):
-            lo = table[0::2]
-            hi = table[1::2]
-            at2 = be.sub(be.add(hi, hi), lo)
-            return [
-                be.sum(be.mul(lo, lo)),
-                be.sum(be.mul(hi, hi)),
-                be.sum(be.mul(at2, at2)),
-            ]
-        g0 = 0
-        g1 = 0
-        g2 = 0
-        for t in range(0, len(table), 2):
-            lo = table[t]
-            hi = table[t + 1]
-            g0 += lo * lo
-            g1 += hi * hi
-            at2 = 2 * hi - lo
-            g2 += at2 * at2
-        return [g0 % p, g1 % p, g2 % p]
+        return f2_round_sums(self.backend, self.field, self._table)
 
     def receive_challenge(self, r: int) -> None:
         """Fold the table: A'[t] = (1-r)·A[2t] + r·A[2t+1]."""
@@ -110,6 +88,10 @@ class F2Prover:
 
 class F2Verifier:
     """Streaming verifier: secret point ``r``, running LDE, O(log u) words."""
+
+    #: The whole streaming state is the LDE: IndependentCopies may share
+    #: one digitisation pass across copies (process_stream_batched).
+    STREAM_STATE_IS_LDE = True
 
     def __init__(
         self,

@@ -92,6 +92,8 @@ class GeneralF2Prover:
 class GeneralF2Verifier:
     """Streaming verifier with O(d + ℓ) words of state."""
 
+    STREAM_STATE_IS_LDE = True  # see F2Verifier / IndependentCopies
+
     def __init__(
         self,
         field: PrimeField,

@@ -98,6 +98,8 @@ class FkProver:
 class FkVerifier:
     """Same streaming state as the F2 verifier; checks degree-k messages."""
 
+    STREAM_STATE_IS_LDE = True  # see F2Verifier / IndependentCopies
+
     def __init__(
         self,
         field: PrimeField,

@@ -20,7 +20,13 @@ from repro.comm.channel import Channel
 from repro.core.base import VerificationResult, accepted, rejected
 from repro.core.range_sum import RangeSumProver, RangeSumVerifier
 from repro.field.modular import PrimeField
-from repro.field.polynomial import evaluate_from_evals
+from repro.field.polynomial import evaluate_from_evals_batch
+from repro.field.vectorized import fold_pairs, get_backend
+from repro.lde.streaming import (
+    DEFAULT_BLOCK,
+    StreamingLDE,
+    apply_stream_batched,
+)
 
 
 def run_batch_range_sum(
@@ -28,13 +34,21 @@ def run_batch_range_sum(
     verifier: RangeSumVerifier,
     queries: Sequence[Tuple[int, int]],
     channel: Optional[Channel] = None,
+    backend=None,
 ) -> List[VerificationResult]:
     """Verify many RANGE-SUM queries in lockstep with shared randomness.
 
     Per round the prover sends one degree-2 polynomial *per query* (all
     committed before r_j is revealed); the verifier maintains one running
     check per query.  Communication: 3·|queries| words per round plus the
-    shared challenges.
+    shared challenges, attributed per query on the channel
+    (:meth:`repro.comm.channel.Channel.query_cost`).
+
+    Under a vectorized backend the prover keeps the indicator tables as
+    one (queries × table) stack: each round's polynomials for *all*
+    queries are three stacked array passes, and each challenge folds the
+    whole stack at once.  The per-query loops are the scalar reference;
+    transcripts are identical either way.
     """
     ch = channel or Channel()
     field = verifier.field
@@ -44,16 +58,29 @@ def run_batch_range_sum(
     for lo, hi in queries:
         if not 0 <= lo <= hi < verifier.size:
             raise ValueError("query range [%d, %d] invalid" % (lo, hi))
+    if not queries:
+        return []
+    be = backend if backend is not None else get_backend(field)
+    vec = getattr(be, "vectorized", False)
 
     # Per-query prover state: a dedicated b-table, one shared a-table.
-    a_table = [f % p for f in prover.freq_a]
-    b_tables: List[List[int]] = []
-    for lo, hi in queries:
-        b = [0] * verifier.size
-        for i in range(lo, hi + 1):
-            b[i] = 1
-        b_tables.append(b)
-    ch.verifier_says(0, "queries", [w for q in queries for w in q])
+    if vec:
+        a_table = be.asarray(prover.freq_a)
+        # The indicator stack is written directly into one 2-D array.
+        b_stack = be.stack([be.zeros(verifier.size)] * len(queries))
+        for q, (lo, hi) in enumerate(queries):
+            b_stack[q, lo : hi + 1] = 1
+    else:
+        a_table = [f % p for f in prover.freq_a]
+        b_tables: List[List[int]] = []
+        for lo, hi in queries:
+            b = [0] * verifier.size
+            b[lo : hi + 1] = [1] * (hi - lo + 1)
+            b_tables.append(b)
+    # Each query's range announcement is charged to that query, so
+    # Channel.query_cost stays directly comparable to a standalone run.
+    for q, (lo, hi) in enumerate(queries):
+        ch.verifier_says(0, "q%d-range" % q, [lo, hi], query=q)
 
     claimed: List[Optional[int]] = [None] * len(queries)
     previous: List[Optional[int]] = [None] * len(queries)
@@ -61,18 +88,30 @@ def run_batch_range_sum(
 
     for j in range(d):
         # The prover commits every query's round polynomial first.
-        messages: List[List[int]] = []
-        for b in b_tables:
-            g0 = g1 = g2 = 0
-            for t in range(0, len(a_table), 2):
-                a_lo, a_hi = a_table[t], a_table[t + 1]
-                bb_lo, bb_hi = b[t], b[t + 1]
-                g0 += a_lo * bb_lo
-                g1 += a_hi * bb_hi
-                g2 += (2 * a_hi - a_lo) * (2 * bb_hi - bb_lo)
-            messages.append([g0 % p, g1 % p, g2 % p])
+        if vec:
+            a_lo, a_hi = a_table[0::2], a_table[1::2]
+            a_at2 = be.sub(be.add(a_hi, a_hi), a_lo)
+            b_lo, b_hi = b_stack[:, 0::2], b_stack[:, 1::2]
+            b_at2 = be.sub(be.add(b_hi, b_hi), b_lo)
+            g0s = be.row_weighted_sums(b_lo, a_lo)
+            g1s = be.row_weighted_sums(b_hi, a_hi)
+            g2s = be.row_weighted_sums(b_at2, a_at2)
+            messages = [list(g) for g in zip(g0s, g1s, g2s)]
+        else:
+            messages = []
+            for b in b_tables:
+                g0 = g1 = g2 = 0
+                for t in range(0, len(a_table), 2):
+                    a_lo, a_hi = a_table[t], a_table[t + 1]
+                    bb_lo, bb_hi = b[t], b[t + 1]
+                    g0 += a_lo * bb_lo
+                    g1 += a_hi * bb_hi
+                    g2 += (2 * a_hi - a_lo) * (2 * bb_hi - bb_lo)
+                messages.append([g0 % p, g1 % p, g2 % p])
+        deliveries: List[Optional[List[int]]] = [None] * len(queries)
         for q, msg in enumerate(messages):
-            delivered = ch.prover_says(j, "q%d-g%d" % (q, j + 1), msg)
+            delivered = ch.prover_says(j, "q%d-g%d" % (q, j + 1), msg,
+                                       query=q)
             if failed[q] is not None:
                 continue
             if len(delivered) != 3:
@@ -85,23 +124,34 @@ def run_batch_range_sum(
             elif round_sum != previous[q]:
                 failed[q] = "round %d: sum-check invariant violated" % j
                 continue
-            previous[q] = evaluate_from_evals(field, evals, verifier.r[j])
+            deliveries[q] = evals
+        # One shared-weight interpolation pass covers every live query.
+        live = [q for q, evals in enumerate(deliveries) if evals is not None]
+        evaluated = evaluate_from_evals_batch(
+            field, [deliveries[q] for q in live], verifier.r[j]
+        )
+        for q, value in zip(live, evaluated):
+            previous[q] = value
         # Reveal r_j and fold all tables.
         if j < d - 1:
             ch.verifier_says(j, "r%d" % (j + 1), [verifier.r[j]])
         r = verifier.r[j]
-        one_minus_r = (1 - r) % p
-        a_table = [
-            (one_minus_r * a_table[t] + r * a_table[t + 1]) % p
-            for t in range(0, len(a_table), 2)
-        ]
-        b_tables = [
-            [
-                (one_minus_r * b[t] + r * b[t + 1]) % p
-                for t in range(0, len(b), 2)
+        if vec:
+            a_table = fold_pairs(be, field, a_table, r)
+            b_stack = be.row_fold(b_stack, r)
+        else:
+            one_minus_r = (1 - r) % p
+            a_table = [
+                (one_minus_r * a_table[t] + r * a_table[t + 1]) % p
+                for t in range(0, len(a_table), 2)
             ]
-            for b in b_tables
-        ]
+            b_tables = [
+                [
+                    (one_minus_r * b[t] + r * b[t + 1]) % p
+                    for t in range(0, len(b), 2)
+                ]
+                for b in b_tables
+            ]
 
     results = []
     fa_at_r = verifier.lde.value
@@ -199,6 +249,41 @@ class IndependentCopies:
     def process_stream(self, updates) -> None:
         for i, delta in updates:
             self.process(i, delta)
+
+    def process_stream_batched(self, updates, block: int = DEFAULT_BLOCK) -> None:
+        """One vectorized pass over the stream shared by all copies.
+
+        Verifiers whose *entire* streaming state is their ``.lde`` declare
+        it with the class attribute ``STREAM_STATE_IS_LDE = True`` (the
+        F2/Fk/RANGE-SUM family): each key block is then digitised once
+        and every copy pays only its own table gathers — c copies cost
+        barely more than one.  Copies without the explicit opt-in (e.g.
+        the frequency-based verifier, whose ``process`` also feeds a
+        heavy-hitters sketch) or on a scalar backend fall back to the
+        per-update loop; results are identical either way.
+        """
+        if block < 1:
+            raise ValueError("block size must be positive, got %d" % block)
+        ldes = [getattr(v, "lde", None) for v in self._fresh]
+        if not ldes:
+            return
+        first = ldes[0]
+        if (
+            any(not getattr(v, "STREAM_STATE_IS_LDE", False)
+                for v in self._fresh)
+            or not isinstance(first, StreamingLDE)
+            or any(not isinstance(l, StreamingLDE) for l in ldes)
+            or any(l.u != first.u or l.ell != first.ell for l in ldes)
+            or not getattr(first.backend, "vectorized", False)
+            or first.u > (1 << 62)
+        ):
+            self.process_stream(updates)
+            return
+        # Verifiers validate keys against their own (unpadded) universe.
+        apply_stream_batched(
+            ldes, updates, block=block,
+            strict_u=min(getattr(v, "u", first.u) for v in self._fresh),
+        )
 
     def take(self):
         if not self._fresh:

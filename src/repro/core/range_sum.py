@@ -52,6 +52,8 @@ class RangeSumProver(InnerProductProver):
 class RangeSumVerifier:
     """Streams only a; computes ``f_b(r)`` for the query range on demand."""
 
+    STREAM_STATE_IS_LDE = True  # see F2Verifier / IndependentCopies
+
     def __init__(
         self,
         field: PrimeField,

@@ -13,66 +13,75 @@ Sharding uses the *high* bits of the key, so a shard is a contiguous
 block of leaves and folding never crosses shard boundaries until the
 table is smaller than the worker count, at which point the coordinator
 takes over (the last few rounds are O(#workers) anyway).
+
+Workers ride the backend seam: under a vectorized backend every partial
+message is three array inner products over the shard and every fold one
+whole-array pass, with the coordinator reducing the partial polynomials
+as stacked arrays.  The scalar path is the bit-identical reference.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.base import pow2_dimension
 from repro.field.modular import PrimeField
+from repro.field.vectorized import (
+    canonical_table,
+    f2_round_sums,
+    fold_pairs,
+    get_backend,
+)
 
 
 class F2ShardWorker:
     """One mapper: a contiguous shard of the frequency vector."""
 
-    def __init__(self, field: PrimeField, shard_index: int, shard_size: int):
+    def __init__(self, field: PrimeField, shard_index: int, shard_size: int,
+                 backend=None):
         self.field = field
         self.shard_index = shard_index
         self.shard_size = shard_size
         self.base = shard_index * shard_size
+        self.backend = backend if backend is not None else get_backend(field)
         self.freq: List[int] = [0] * shard_size
-        self._table: Optional[List[int]] = None
+        self._table = None
+        self._partial = None
 
     def process(self, i: int, delta: int) -> None:
         self.freq[i - self.base] += delta
 
     def begin_proof(self) -> None:
-        p = self.field.p
-        self._table = [f % p for f in self.freq]
+        self._table = canonical_table(self.backend, self.field, self.freq)
+        self._partial = None
 
     def partial_message(self) -> Tuple[int, int, int]:
         """This shard's contribution to (g(0), g(1), g(2))."""
         if self._table is None:
             raise RuntimeError("begin_proof() must be called first")
-        p = self.field.p
-        g0 = g1 = g2 = 0
-        for t in range(0, len(self._table), 2):
-            lo = self._table[t]
-            hi = self._table[t + 1]
-            g0 += lo * lo
-            g1 += hi * hi
-            at2 = 2 * hi - lo
-            g2 += at2 * at2
-        return (g0 % p, g1 % p, g2 % p)
+        if self._partial is None:
+            self._partial = f2_round_sums(self.backend, self.field, self._table)
+        return tuple(self._partial)
 
     def fold(self, r: int) -> None:
         if self._table is None:
             raise RuntimeError("begin_proof() must be called first")
-        p = self.field.p
-        table = self._table
-        one_minus_r = (1 - r) % p
-        self._table = [
-            (one_minus_r * table[t] + r * table[t + 1]) % p
-            for t in range(0, len(table), 2)
-        ]
+        self._table = fold_pairs(self.backend, self.field, self._table, r)
+        # Compute the next round's partial immediately, while the folded
+        # shard is still cache-resident — halves the memory traffic of a
+        # fold-all-then-message-all round trip over every shard.
+        self._partial = (
+            f2_round_sums(self.backend, self.field, self._table)
+            if len(self._table) >= 2
+            else None
+        )
 
     @property
     def residual(self) -> List[int]:
         """The fully folded shard (length 1) handed to the coordinator."""
         if self._table is None or len(self._table) != 1:
             raise RuntimeError("shard not fully folded yet")
-        return list(self._table)
+        return [int(v) % self.field.p for v in self._table]
 
 
 class DistributedF2Prover:
@@ -80,13 +89,19 @@ class DistributedF2Prover:
 
     Produces messages identical to the centralised prover (tested), so
     the standard :func:`repro.core.f2.run_f2` verifier accepts it
-    unchanged.  ``num_workers`` must be a power of two dividing the
-    padded universe.
+    unchanged.  ``num_workers`` must be a power of two that divides the
+    padded universe into shards of at least two entries; anything else is
+    rejected up front — a shard count that does not divide the padded
+    dimension would silently route keys to the wrong worker.
     """
 
-    def __init__(self, field: PrimeField, u: int, num_workers: int = 4):
+    def __init__(self, field: PrimeField, u: int, num_workers: int = 4,
+                 backend=None):
         if num_workers < 1 or num_workers & (num_workers - 1):
-            raise ValueError("worker count must be a power of two")
+            raise ValueError(
+                "worker count must be a power of two (got %d): the shard "
+                "boundaries must align with the fold tree" % num_workers
+            )
         self.field = field
         self.u = u
         self.d = pow2_dimension(u)
@@ -97,15 +112,19 @@ class DistributedF2Prover:
                 "%d workers over a padded universe of %d"
                 % (num_workers, self.size)
             )
-        self.num_workers = num_workers
+        # Both counts are powers of two with num_workers <= size/2, so the
+        # shards always divide the padded universe exactly.
         shard_size = self.size // num_workers
+        self.backend = backend if backend is not None else get_backend(field)
+        self.num_workers = num_workers
         self.workers = [
-            F2ShardWorker(field, w, shard_size) for w in range(num_workers)
+            F2ShardWorker(field, w, shard_size, backend=self.backend)
+            for w in range(num_workers)
         ]
         self._shard_bits = shard_size.bit_length() - 1
         # After the workers fold their shards to single values, the
         # coordinator runs the last log(num_workers) rounds locally.
-        self._coordinator_table: Optional[List[int]] = None
+        self._coordinator_table = None
         self._rounds_done = 0
 
     def _worker_for(self, i: int) -> F2ShardWorker:
@@ -136,42 +155,35 @@ class DistributedF2Prover:
     def round_message(self) -> List[int]:
         p = self.field.p
         if self._coordinator_table is not None:
-            table = self._coordinator_table
-            g0 = g1 = g2 = 0
-            for t in range(0, len(table), 2):
-                lo, hi = table[t], table[t + 1]
-                g0 += lo * lo
-                g1 += hi * hi
-                at2 = 2 * hi - lo
-                g2 += at2 * at2
-            return [g0 % p, g1 % p, g2 % p]
-        # Map: each worker computes a partial; reduce: 3-word sums.
-        g0 = g1 = g2 = 0
-        for worker in self.workers:
-            w0, w1, w2 = worker.partial_message()
-            g0 += w0
-            g1 += w1
-            g2 += w2
-        return [g0 % p, g1 % p, g2 % p]
+            return f2_round_sums(
+                self.backend, self.field, self._coordinator_table
+            )
+        # Map: each worker computes a partial; reduce: the coordinator
+        # sums the stacked partial polynomials column-wise.
+        partials = [worker.partial_message() for worker in self.workers]
+        be = self.backend
+        if getattr(be, "vectorized", False):
+            return be.row_sums(
+                be.stack([[g[c] for g in partials] for c in range(3)])
+            )
+        return [sum(g[c] for g in partials) % p for c in range(3)]
 
     def receive_challenge(self, r: int) -> None:
-        p = self.field.p
         if self._coordinator_table is not None:
-            table = self._coordinator_table
-            one_minus_r = (1 - r) % p
-            self._coordinator_table = [
-                (one_minus_r * table[t] + r * table[t + 1]) % p
-                for t in range(0, len(table), 2)
-            ]
+            self._coordinator_table = fold_pairs(
+                self.backend, self.field, self._coordinator_table, r
+            )
             return
         for worker in self.workers:
             worker.fold(r)
         self._rounds_done += 1
         if self._rounds_done == self._shard_bits:
             # Shards are single values now: gather them at the coordinator.
-            self._coordinator_table = [
-                worker.residual[0] for worker in self.workers
-            ]
+            self._coordinator_table = canonical_table(
+                self.backend,
+                self.field,
+                [worker.residual[0] for worker in self.workers],
+            )
 
     @property
     def max_worker_keys(self) -> int:

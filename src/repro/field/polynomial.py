@@ -177,7 +177,20 @@ def evaluate_from_evals(field: PrimeField, evals: Sequence[int], x: int) -> int:
     x %= p
     if x < m:
         return evals[x] % p
-    # prefix[k] = prod_{j<k} (x - j); suffix[k] = prod_{j>k} (x - j)
+    weights = _interpolation_weights(field, m, x)
+    return sum(evals[k] * weights[k] for k in range(m)) % p
+
+
+def _interpolation_weights(field: PrimeField, m: int, x: int) -> List[int]:
+    """Lagrange weights w_k with interpolant(x) = Σ_k evals[k]·w_k.
+
+    ``prefix[k] = Π_{j<k} (x - j)``, ``suffix[k] = Π_{j>k} (x - j)``, and
+    the factorial denominators are cached.  Depends only on (m, x), so
+    one weight vector serves every message of a batched round — the basis
+    of :func:`evaluate_from_evals_batch` and of the single-message
+    :func:`evaluate_from_evals`.
+    """
+    p = field.p
     prefix = [1] * m
     for k in range(1, m):
         prefix[k] = prefix[k - 1] * (x - (k - 1)) % p
@@ -185,7 +198,36 @@ def evaluate_from_evals(field: PrimeField, evals: Sequence[int], x: int) -> int:
     for k in range(m - 2, -1, -1):
         suffix[k] = suffix[k + 1] * (x - (k + 1)) % p
     denom_inv = _denominator_inverses(field, m)
-    acc = 0
-    for k in range(m):
-        acc += evals[k] * prefix[k] % p * suffix[k] % p * denom_inv[k]
-    return acc % p
+    return [
+        prefix[k] * suffix[k] % p * denom_inv[k] % p for k in range(m)
+    ]
+
+
+def evaluate_from_evals_batch(
+    field: PrimeField, tables: Sequence[Sequence[int]], x: int, backend=None
+) -> List[int]:
+    """Evaluate many same-length evaluation tables at one point ``x``.
+
+    The round-lockstep batched protocols (Section 7, "Multiple Queries")
+    check every query's round polynomial at the *shared* challenge r_j:
+    the Lagrange weights are computed once and each table costs one O(m)
+    inner product.  With a vectorized ``backend`` the whole batch is one
+    stacked array pass.
+    """
+    if not tables:
+        return []
+    m = len(tables[0])
+    if m == 0:
+        raise ValueError("cannot interpolate an empty evaluation table")
+    if any(len(t) != m for t in tables):
+        raise ValueError("batched tables must share one length")
+    p = field.p
+    x %= p
+    if x < m:
+        return [t[x] % p for t in tables]
+    weights = _interpolation_weights(field, m, x)
+    if backend is not None and getattr(backend, "vectorized", False):
+        return backend.row_weighted_sums(backend.stack(tables), weights)
+    return [
+        sum(t[k] * weights[k] for k in range(m)) % p for t in tables
+    ]

@@ -49,12 +49,43 @@ _MERSENNE_61 = (1 << 61) - 1
 
 if HAVE_NUMPY:
     _U3 = _np.uint64(3)
+    _U22 = _np.uint64(22)
     _U29 = _np.uint64(29)
     _U32 = _np.uint64(32)
+    _U44 = _np.uint64(44)
     _U61 = _np.uint64(61)
+    _MASK22 = _np.uint64((1 << 22) - 1)
     _MASK29 = _np.uint64((1 << 29) - 1)
     _MASK32 = _np.uint64((1 << 32) - 1)
     _M61 = _np.uint64(_MERSENNE_61)
+
+#: Chunk bound for the limb inner products of :meth:`VectorizedField.dot`:
+#: 22-bit limb products are < 2^44, so partial dots over at most 2^19
+#: terms stay below 2^63 — exact in uint64, no wraparound possible.
+_DOT_CHUNK = 1 << 19
+
+
+def _limbs22(arr):
+    """Split canonical Mersenne-61 residues into three 22-bit limbs."""
+    return (arr & _MASK22, (arr >> _U22) & _MASK22, arr >> _U44)
+
+
+def _limb_dot(a_limbs, b_limbs, symmetric: bool) -> int:
+    """Exact Σ a·b over one chunk from pre-split limbs, as a Python int.
+
+    ``np.dot`` on uint64 limbs is a single fused multiply-add pass per
+    limb pair (no temporaries), ~3x the throughput of canonical-residue
+    modmul chains; the nine (six when symmetric) partial dots are exact
+    by the chunk bound and recombine with power-of-two weights.
+    """
+    total = 0
+    for i in range(3):
+        for j in range(i if symmetric else 0, 3):
+            s = int(_np.dot(a_limbs[i], b_limbs[j]))
+            if symmetric and j > i:
+                s *= 2
+            total += s << (22 * (i + j))
+    return total
 
 
 def _mul_m61(a, b):
@@ -66,7 +97,10 @@ def _mul_m61(a, b):
 
     and mod ``p = 2^61 - 1`` the three terms reduce via ``2^64 ≡ 8``,
     ``m·2^32 = (m >> 29) + (m & (2^29-1))·2^32 (mod p)`` and
-    ``l ≡ (l >> 61) + (l & p)``.  Every partial sum stays below ``2^63``.
+    ``l ≡ (l >> 61) + (l & p)``.  Every partial sum stays in ``uint64``;
+    when one operand is canonical the other may even be a *relaxed*
+    residue below ``2^62`` (the fold fast path uses this), still with no
+    overflow and a canonical result.
     """
     ah = a >> _U32
     al = a & _MASK32
@@ -159,6 +193,34 @@ class ScalarBackend:
     def take(self, arr: Sequence[int], idx: Sequence[int]) -> List[int]:
         return [arr[i] for i in idx]
 
+    def select(self, bits: Sequence[int], if_one, if_zero) -> List[int]:
+        """Elementwise choice by a 0/1 array: ``if_one`` where bit else
+        ``if_zero`` (each a scalar or an equally long array)."""
+        one_seq = isinstance(if_one, (list, tuple))
+        zero_seq = isinstance(if_zero, (list, tuple))
+        return [
+            (if_one[t] if one_seq else if_one)
+            if bit
+            else (if_zero[t] if zero_seq else if_zero)
+            for t, bit in enumerate(bits)
+        ]
+
+    def concat(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        return list(a) + list(b)
+
+    def nonzero(self, mask: Sequence[int]) -> List[int]:
+        """Indices of the nonzero entries of a 0/1 mask."""
+        return [t for t, v in enumerate(mask) if v]
+
+    def scatter_sum(self, idx: Sequence[int], weights: Sequence[int],
+                    size: int) -> List[int]:
+        """``out[idx[t]] += weights[t]`` over a fresh zero table mod p."""
+        p = self.p
+        out = [0] * size
+        for i, w in zip(idx, weights):
+            out[i] = (out[i] + w) % p
+        return out
+
     def outer_flat(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
         """Flattened outer product: ``out[i + len(a)·j] = a[i]·b[j]``."""
         p = self.p
@@ -170,6 +232,56 @@ class ScalarBackend:
             return [], []
         first, second = zip(*pairs)
         return list(first), list(second)
+
+    # -- stacked (2-D) operations --------------------------------------------
+    #
+    # A "stack" is a rows × width table: one row per query / line point /
+    # worker.  The scalar representation is a list of canonical-residue
+    # lists; the vectorized one is a 2-D backend array.  These power the
+    # batched multi-query rounds and the stacked line restriction in GKR.
+
+    def stack(self, rows: Sequence[Sequence[int]]) -> List[List[int]]:
+        p = self.p
+        return [[int(v) % p for v in row] for row in rows]
+
+    def row_sums(self, stack: Sequence[Sequence[int]]) -> List[int]:
+        p = self.p
+        return [sum(row) % p for row in stack]
+
+    def row_fold(self, stack, r: int, zero_weight: int = None):
+        """Fold every row's column pairs with the *same* challenge ``r``."""
+        p = self.p
+        r %= p
+        w0 = (1 - r) % p if zero_weight is None else zero_weight % p
+        return [
+            [
+                (w0 * row[t] + r * row[t + 1]) % p
+                for t in range(0, len(row), 2)
+            ]
+            for row in stack
+        ]
+
+    def rows_fold(self, stack, rs: Sequence[int]):
+        """Fold each row with its *own* challenge ``rs[q]`` (stacked fold)."""
+        if len(stack) != len(rs):
+            raise ValueError("one challenge per row required")
+        p = self.p
+        out = []
+        for row, r in zip(stack, rs):
+            r %= p
+            w0 = (1 - r) % p
+            out.append(
+                [
+                    (w0 * row[t] + r * row[t + 1]) % p
+                    for t in range(0, len(row), 2)
+                ]
+            )
+        return out
+
+    def row_weighted_sums(self, stack, weights: Sequence[int]) -> List[int]:
+        """Per-row inner product with a shared weight vector."""
+        field = self.field
+        return [field.dot(row, weights) for row in stack]
 
     # -- aggregates ----------------------------------------------------------
 
@@ -357,6 +469,66 @@ class VectorizedField:
     def take(self, arr, idx):
         return arr[idx]
 
+    def select(self, bits, if_one, if_zero):
+        """Elementwise choice by a 0/1 array (scalar or array branches)."""
+        if not isinstance(bits, _np.ndarray):
+            bits = self.index_array(bits)
+        return _np.where(bits != 0, self._norm(if_one), self._norm(if_zero))
+
+    def nonzero(self, mask):
+        """Indices of the nonzero entries of a 0/1 mask, as int64."""
+        if not isinstance(mask, _np.ndarray):
+            mask = self.index_array(mask)
+        return _np.nonzero(mask)[0].astype(_np.int64)
+
+    #: Chunk bound for :meth:`scatter_sum`: 32-bit limb partial sums over
+    #: at most 2^20 terms stay below 2^52, exact in float64.
+    _SCATTER_CHUNK = 1 << 20
+
+    def scatter_sum(self, idx, weights, size: int):
+        """``out[idx[t]] += weights[t] (mod p)`` over a fresh zero table.
+
+        NumPy's ``bincount`` only accumulates float64 weights, so each
+        canonical residue is split into 32-bit limbs whose bucket sums
+        stay exactly representable; chunking keeps that bound for any
+        input length.  This is the prover's "inner product with a public
+        function" step: gate contributions scatter into an
+        assignment-indexed table in O(G) C-level work.
+        """
+        idx = idx if isinstance(idx, _np.ndarray) else self.index_array(idx)
+        w = (
+            weights
+            if isinstance(weights, _np.ndarray)
+            else self.asarray(weights)
+        )
+        if self.dtype is object:
+            out = self.zeros(size)
+            _np.add.at(out, idx, w)
+            return out % self.p
+        out = self.zeros(size)
+        two32 = (1 << 32) % self.p
+        for start in range(0, idx.shape[0], self._SCATTER_CHUNK):
+            ic = idx[start : start + self._SCATTER_CHUNK]
+            wc = w[start : start + self._SCATTER_CHUNK]
+            hi = _np.bincount(
+                ic, weights=(wc >> _U32).astype(_np.float64), minlength=size
+            ).astype(_np.uint64)
+            lo = _np.bincount(
+                ic, weights=(wc & _MASK32).astype(_np.float64), minlength=size
+            ).astype(_np.uint64)
+            # hi/lo bucket sums can exceed p (never 2^52): reduce before
+            # re-entering the canonical-residue arithmetic.
+            out = self.add(
+                out,
+                self.add(self.mul(self.reduce(hi), two32), self.reduce(lo)),
+            )
+        return out
+
+    def concat(self, a, b):
+        a = a if isinstance(a, _np.ndarray) else self.asarray(a)
+        b = b if isinstance(b, _np.ndarray) else self.asarray(b)
+        return _np.concatenate([a, b])
+
     def outer_flat(self, a, b):
         """Flattened outer product: ``out[i + len(a)·j] = a[i]·b[j]``."""
         a = a if isinstance(a, _np.ndarray) else self.asarray(a)
@@ -376,6 +548,62 @@ class VectorizedField:
         ).reshape(n, 2)
         return flat[:, 0], flat[:, 1]
 
+    # -- stacked (2-D) operations --------------------------------------------
+
+    def stack(self, rows):
+        """2-D canonical array from a sequence of rows (lists or arrays)."""
+        arrs = [
+            r if isinstance(r, _np.ndarray) else self.asarray(r) for r in rows
+        ]
+        if not arrs:
+            return _np.zeros((0, 0), dtype=self.dtype)
+        return _np.stack(arrs)
+
+    def row_sums(self, stack) -> List[int]:
+        """Exact per-row sums mod p of a canonical 2-D array."""
+        if stack.shape[1] == 0:
+            return [0] * stack.shape[0]
+        if self.dtype is object:
+            return [int(v) % self.p for v in _np.sum(stack, axis=1)]
+        # Split 32-bit halves so neither uint64 accumulator can overflow.
+        hi = _np.sum(stack >> _U32, axis=1, dtype=_np.uint64)
+        lo = _np.sum(stack & _MASK32, axis=1, dtype=_np.uint64)
+        p = self.p
+        return [
+            ((int(h) << 32) + int(l)) % p for h, l in zip(hi, lo)
+        ]
+
+    def row_fold(self, stack, r: int, zero_weight: int = None):
+        """Fold every row's column pairs with the *same* challenge ``r``."""
+        r %= self.p
+        even = stack[:, 0::2]
+        odd = stack[:, 1::2]
+        if zero_weight is None:
+            return self.add(even, self.mul(r, self.sub(odd, even)))
+        w0 = zero_weight % self.p
+        if w0 == 1:
+            return self.add(even, self.mul(odd, r))
+        return self.add(self.mul(even, w0), self.mul(odd, r))
+
+    def rows_fold(self, stack, rs):
+        """Fold each row with its *own* challenge ``rs[q]`` (stacked fold)."""
+        rs = rs if isinstance(rs, _np.ndarray) else self.asarray(rs)
+        if stack.shape[0] != rs.shape[0]:
+            raise ValueError("one challenge per row required")
+        col = rs.reshape(-1, 1)
+        even = stack[:, 0::2]
+        odd = stack[:, 1::2]
+        return self.add(even, self.mul(self.sub(odd, even), col))
+
+    def row_weighted_sums(self, stack, weights) -> List[int]:
+        """Per-row inner product with a shared weight vector."""
+        weights = (
+            weights
+            if isinstance(weights, _np.ndarray)
+            else self.asarray(weights)
+        )
+        return self.row_sums(self.mul(stack, weights))
+
     # -- aggregates ----------------------------------------------------------
 
     def sum(self, arr) -> int:
@@ -390,11 +618,29 @@ class VectorizedField:
         return ((hi << 32) + lo) % self.p
 
     def dot(self, xs, ys) -> int:
+        """Exact ``Σ xs·ys mod p``.
+
+        For the Mersenne-61 field the products are computed as nine
+        22-bit-limb inner products per chunk (six when ``xs is ys``) —
+        fused ``np.dot`` passes with no canonical-residue temporaries —
+        and recombined exactly in Python integers.  Other moduli fall
+        back to elementwise multiply-and-sum.
+        """
+        symmetric = xs is ys
         xs = xs if isinstance(xs, _np.ndarray) else self.asarray(xs)
-        ys = ys if isinstance(ys, _np.ndarray) else self.asarray(ys)
+        ys = xs if symmetric else (
+            ys if isinstance(ys, _np.ndarray) else self.asarray(ys)
+        )
         if xs.shape != ys.shape:
             raise ValueError("dot of vectors with different lengths")
-        return self.sum(self.mul(xs, ys))
+        if not self._is_m61 or xs.ndim != 1:
+            return self.sum(self.mul(xs, ys))
+        total = 0
+        for start in range(0, xs.shape[0], _DOT_CHUNK):
+            xc = _limbs22(xs[start : start + _DOT_CHUNK])
+            yc = xc if symmetric else _limbs22(ys[start : start + _DOT_CHUNK])
+            total += _limb_dot(xc, yc, symmetric)
+        return total % self.p
 
     def prod(self, arr) -> int:
         a = arr if isinstance(arr, _np.ndarray) else self.asarray(arr)
@@ -474,13 +720,66 @@ def fold_pairs(backend: Backend, field: PrimeField, table, r: int,
     w0 = (1 - r) % p if zero_weight is None else zero_weight % p
     table = ensure_backend_array(backend, table)
     if getattr(backend, "vectorized", False):
-        return backend.add(
-            backend.mul(table[0::2], w0), backend.mul(table[1::2], r)
-        )
+        even = table[0::2]
+        odd = table[1::2]
+        if zero_weight is None:
+            # (1-r)·E + r·O = E + r·(O - E): one modular multiply per fold.
+            if getattr(backend, "_is_m61", False) and backend.dtype is not object:
+                # O + (p - E) stays below 2p < 2^62, which _mul_m61
+                # tolerates when the other operand is canonical — the
+                # intermediate canonicalization pass can be skipped.
+                diff = (_M61 - even) + odd
+                return backend.add(even, _mul_m61(_np.uint64(r), diff))
+            return backend.add(even, backend.mul(r, backend.sub(odd, even)))
+        if w0 == 1:
+            return backend.add(even, backend.mul(odd, r))
+        return backend.add(backend.mul(even, w0), backend.mul(odd, r))
     return [
         (w0 * table[t] + r * table[t + 1]) % p
         for t in range(0, len(table), 2)
     ]
+
+
+def f2_round_sums(backend: Backend, field: PrimeField, table) -> List[int]:
+    """[g(0), g(1), g(2)] of the F2 sum-check round polynomial.
+
+    With the current folded table A (pairs sharing a suffix adjacent):
+    ``g(c) = Σ_t ((1-c)·A[2t] + c·A[2t+1])²`` — three inner products over
+    the even/odd halves, with ``g(2) = g(0) + 4·g(1) - 4·Σ A[2t]·A[2t+1]``
+    recombined from the mixed product.  Shared by the centralised F2
+    prover, the shard workers and the coordinator, on either backend.
+    """
+    p = field.p
+    table = ensure_backend_array(backend, table)
+    if getattr(backend, "vectorized", False):
+        lo = table[0::2]
+        hi = table[1::2]
+        if getattr(backend, "_is_m61", False) and backend.dtype is not object:
+            # One limb split per half serves all three inner products.
+            g0 = g1 = gm = 0
+            n = lo.shape[0]
+            for start in range(0, n, _DOT_CHUNK):
+                ll = _limbs22(lo[start : start + _DOT_CHUNK])
+                hl = _limbs22(hi[start : start + _DOT_CHUNK])
+                g0 += _limb_dot(ll, ll, True)
+                g1 += _limb_dot(hl, hl, True)
+                gm += _limb_dot(ll, hl, False)
+            g0 %= p
+            g1 %= p
+            return [g0, g1, (g0 + 4 * g1 - 4 * gm) % p]
+        g0 = backend.dot(lo, lo)
+        g1 = backend.dot(hi, hi)
+        gm = backend.dot(lo, hi)
+        return [g0, g1, (g0 + 4 * g1 - 4 * gm) % p]
+    g0 = g1 = g2 = 0
+    for t in range(0, len(table), 2):
+        lo = table[t]
+        hi = table[t + 1]
+        g0 += lo * lo
+        g1 += hi * hi
+        at2 = 2 * hi - lo
+        g2 += at2 * at2
+    return [g0 % p, g1 % p, g2 % p]
 
 
 def get_backend(field: PrimeField, name: str = None) -> Backend:

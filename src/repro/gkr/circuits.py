@@ -51,6 +51,8 @@ class LayeredCircuit:
             raise ValueError("circuit needs at least one gate layer")
         self.layers: List[List[Gate]] = [list(layer) for layer in layers]
         self.input_size = input_size
+        self._wiring = None  # lazy per-layer (left, right, is_add) columns
+        self._wiring_arrays = {}  # backend-name keyed index-array cache
         for i, layer in enumerate(self.layers):
             if not _is_power_of_two(len(layer)):
                 raise ValueError("layer %d size is not a power of two" % i)
@@ -75,15 +77,73 @@ class LayeredCircuit:
             return self.input_size
         return len(self.layers[i])
 
-    def evaluate(self, field: PrimeField, inputs: Sequence[int]) -> List[List[int]]:
+    def wiring_columns(self):
+        """Per-layer gate columns ``(left, right, is_add)`` as plain lists.
+
+        Computed once per circuit; the array-backed evaluation and the
+        layer sum-check prover gather through these instead of touching
+        :class:`Gate` objects per evaluation.
+        """
+        if self._wiring is None:
+            self._wiring = [
+                (
+                    [g.left for g in layer],
+                    [g.right for g in layer],
+                    [1 if g.op == ADD else 0 for g in layer],
+                )
+                for layer in self.layers
+            ]
+        return self._wiring
+
+    def wiring_arrays(self, backend):
+        """Per-layer ``(left, right, add_mask, add_sel, mul_sel)`` as
+        backend index arrays, cached per backend kind.
+
+        ``add_sel``/``mul_sel`` are the gate indices of each op — the
+        one-off partition the layer sum-check prover gathers through —
+        and ``add_mask`` the 0/1 op column the evaluator selects with, so
+        repeated proofs over one circuit never re-walk the Gate objects.
+        """
+        key = getattr(backend, "name", "scalar")
+        cached = self._wiring_arrays.get(key)
+        if cached is None:
+            cached = []
+            for left, right, is_add in self.wiring_columns():
+                mask = backend.index_array(is_add)
+                cached.append(
+                    (
+                        backend.index_array(left),
+                        backend.index_array(right),
+                        mask,
+                        backend.nonzero(mask),
+                        backend.nonzero(1 - mask if hasattr(mask, "dtype")
+                                        else [1 - v for v in mask]),
+                    )
+                )
+            self._wiring_arrays[key] = cached
+        return cached
+
+    def evaluate(
+        self, field: PrimeField, inputs: Sequence[int], backend=None
+    ) -> List[List[int]]:
         """All layer values; ``values[0]`` are outputs, ``values[depth]``
-        the (reduced) inputs."""
+        the (reduced) inputs.
+
+        Under a vectorized ``backend`` each layer is two gathers and one
+        masked add/mul over the whole gate array; the gate-by-gate loop is
+        the reference path and produces identical values.
+        """
         if len(inputs) != self.input_size:
             raise ValueError(
                 "expected %d inputs, got %d" % (self.input_size, len(inputs))
             )
         p = field.p
-        values: List[List[int]] = [[v % p for v in inputs]]
+        if backend is not None and getattr(backend, "vectorized", False):
+            return [
+                backend.to_list(arr)
+                for arr in self.evaluate_arrays(field, inputs, backend)
+            ]
+        values = [[v % p for v in inputs]]
         for layer in reversed(self.layers):
             below = values[0]
             out = []
@@ -93,8 +153,32 @@ class LayeredCircuit:
             values.insert(0, out)
         return values
 
-    def output(self, field: PrimeField, inputs: Sequence[int]) -> List[int]:
-        return self.evaluate(field, inputs)[0]
+    def evaluate_arrays(self, field: PrimeField, inputs: Sequence[int],
+                        backend) -> List[object]:
+        """All layer values as canonical backend arrays (vectorized only).
+
+        The proof driver keeps layer tables in array form end to end —
+        no per-layer Python-list round trips; :meth:`evaluate` is this
+        plus one ``to_list`` per layer.
+        """
+        if len(inputs) != self.input_size:
+            raise ValueError(
+                "expected %d inputs, got %d" % (self.input_size, len(inputs))
+            )
+        be = backend
+        arrays = [be.asarray(inputs)]
+        wiring = self.wiring_arrays(be)
+        for li in range(self.depth - 1, -1, -1):
+            left, right, add_mask, _add_sel, _mul_sel = wiring[li]
+            a = be.take(arrays[0], left)
+            b = be.take(arrays[0], right)
+            arrays.insert(0, be.select(add_mask, be.add(a, b), be.mul(a, b)))
+        return arrays
+
+    def output(
+        self, field: PrimeField, inputs: Sequence[int], backend=None
+    ) -> List[int]:
+        return self.evaluate(field, inputs, backend=backend)[0]
 
 
 def sum_tree_layers(width: int) -> List[List[Gate]]:

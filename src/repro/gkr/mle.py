@@ -4,33 +4,62 @@
 value table on {0,1}^b at an arbitrary field point, by successive folding
 (O(2^b) field operations).  Variable 0 is the least-significant bit of the
 table index, matching the digit convention of :mod:`repro.lde`.
+
+Every evaluator takes an optional compute ``backend`` (see
+:func:`repro.field.vectorized.get_backend`): under a vectorized backend
+the folds run as whole-array operations, and the line restriction of
+:func:`restrict_to_line` folds all ``b + 1`` line points as one stacked
+2-D pass.  The list-based code is the reference path; both produce
+identical values, so protocol transcripts never depend on the backend.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.field.modular import PrimeField
+from repro.field.vectorized import fold_pairs, get_backend
 
 
-def pad_to_power_of_two(values: Sequence[int]) -> List[int]:
-    out = list(values)
+def pad_to_power_of_two(values: Sequence[int], backend=None):
+    """Zero-pad a table to the next power-of-two length (min length 1).
+
+    Returns a plain list by default; under a vectorized ``backend`` the
+    result is a canonical backend array built without a Python-level pass
+    over the payload.
+    """
+    n = len(values)
     size = 1
-    while size < len(out):
+    while size < n:
         size *= 2
+    if backend is not None and getattr(backend, "vectorized", False):
+        arr = backend.asarray(values)
+        if n == size and n > 0:
+            return arr
+        return backend.concat(arr, backend.zeros(size - n if n else 1))
+    out = list(values)
     out.extend([0] * (size - len(out)))
     return out if out else [0]
 
 
-def mle_eval(field: PrimeField, values: Sequence[int], point: Sequence[int]) -> int:
+def mle_eval(
+    field: PrimeField,
+    values: Sequence[int],
+    point: Sequence[int],
+    backend=None,
+) -> int:
     """Evaluate the MLE of ``values`` (length 2^b) at ``point`` (length b)."""
-    table = pad_to_power_of_two(values)
+    table = pad_to_power_of_two(values, backend=backend)
     if len(table) != 1 << len(point):
         raise ValueError(
             "table of %d values needs %d variables, got %d"
             % (len(table), (len(table) - 1).bit_length(), len(point))
         )
     p = field.p
+    if backend is not None and getattr(backend, "vectorized", False):
+        for r in point:
+            table = fold_pairs(backend, field, table, r)
+        return int(table[0]) % p
     for r in point:  # fold out the least-significant variable each pass
         one_minus_r = (1 - r) % p
         table = [
@@ -55,6 +84,24 @@ def eq_eval(field: PrimeField, index: int, nbits: int, point: Sequence[int]) -> 
     return acc
 
 
+def eq_table(field: PrimeField, point: Sequence[int], backend=None):
+    """All ``2^b`` indicator values ``eq(idx, point)`` in one tensor build.
+
+    ``out[idx] = Π_j eq(idx_j, point_j)`` with variable j the j-th bit of
+    ``idx`` — equivalent to ``[eq_eval(field, idx, b, point) ...]`` but
+    O(2^b) total instead of O(b·2^b), and one doubling concat per variable
+    under a vectorized backend.  This is how the GKR layer prover turns
+    per-gate ``eq_z`` evaluation into a single table gather.
+    """
+    be = backend if backend is not None else get_backend(field)
+    p = field.p
+    table = be.asarray([1])
+    for r in point:
+        high = be.mul(table, r % p)
+        table = be.concat(be.sub(table, high), high)  # (1-r)·T = T - r·T
+    return table
+
+
 def line_points(
     field: PrimeField, start: Sequence[int], end: Sequence[int], t: int
 ) -> List[int]:
@@ -71,13 +118,30 @@ def restrict_to_line(
     start: Sequence[int],
     end: Sequence[int],
     num_points: int,
+    backend=None,
 ) -> List[int]:
     """Evaluations of the MLE along the line at t = 0..num_points-1.
 
     The restriction of a b-variate multilinear polynomial to a line has
     degree <= b, so ``num_points = b + 1`` determines it (the prover's
-    line-reduction message in GKR).
+    line-reduction message in GKR).  Under a vectorized backend all the
+    line points are folded together: one (num_points × 2^b) stack, one
+    per-row fold per variable.
     """
+    if backend is not None and getattr(backend, "vectorized", False):
+        table = pad_to_power_of_two(values, backend=backend)
+        if len(table) != 1 << len(start):
+            raise ValueError(
+                "table of %d values needs %d variables, got %d"
+                % (len(table), (len(table) - 1).bit_length(), len(start))
+            )
+        pts = [
+            line_points(field, start, end, t) for t in range(num_points)
+        ]
+        stack = backend.stack([table] * num_points)
+        for j in range(len(start)):
+            stack = backend.rows_fold(stack, [pt[j] for pt in pts])
+        return [int(row[0]) % field.p for row in stack]
     return [
         mle_eval(field, values, line_points(field, start, end, t))
         for t in range(num_points)

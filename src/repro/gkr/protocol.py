@@ -16,6 +16,13 @@ the final test "can be chosen at random independent of the data").
 
 Costs: O(depth · log u) rounds and words — the (log² u, log² u) comparison
 point for F2 quoted after Theorem 4.
+
+The prover side rides the backend seam: layer values, the per-layer
+sum-check (:class:`repro.gkr.sumcheck.LayerSumcheck`), the line
+restriction and the wiring-predicate check all run as whole-array
+operations under a vectorized backend, and the input-layer MLE is
+maintained through the batched multipoint streaming LDE.  Transcripts are
+byte-identical across backends.
 """
 
 from __future__ import annotations
@@ -27,16 +34,18 @@ from repro.comm.channel import Channel
 from repro.core.base import VerificationResult, accepted, rejected
 from repro.field.modular import PrimeField
 from repro.field.polynomial import evaluate_from_evals
+from repro.field.vectorized import get_backend
 from repro.gkr.circuits import ADD, Gate, LayeredCircuit, num_vars
 from repro.gkr.mle import (
     eq_eval,
+    eq_table,
     line_points,
     mle_eval,
     pad_to_power_of_two,
     restrict_to_line,
 )
-from repro.gkr.sumcheck import round_message
-from repro.lde.streaming import StreamingLDE
+from repro.gkr.sumcheck import LayerSumcheck
+from repro.lde.streaming import DEFAULT_BLOCK, MultipointStreamingLDE
 
 
 class GKRCoins:
@@ -71,14 +80,39 @@ def wiring_mle_at(
     z: Sequence[int],
     x: Sequence[int],
     y: Sequence[int],
+    backend=None,
 ) -> Tuple[int, int]:
-    """(add̃, mult̃) evaluated at (z, x, y): O(G·(b_layer + 2·b_next)).
+    """(add̃, mult̃) evaluated at (z, x, y).
 
     The verifier evaluates the wiring predicates itself from the public
     circuit description (for log-space-uniform circuits this is implicit;
     here it is an explicit O(size) pass, which we account as verifier
-    preprocessing independent of the data)."""
+    preprocessing independent of the data).  The reference path is
+    O(G·(b_layer + 2·b_next)); a vectorized backend builds the three eq
+    indicator tables once and reduces each predicate to gate-array
+    gathers: O(2^b_layer + 2^{b_next} + G) array work.
+    """
     p = field.p
+    if backend is not None and getattr(backend, "vectorized", False):
+        be = backend
+        eqz = eq_table(field, z, backend=be)
+        eqx = eq_table(field, x, backend=be)
+        eqy = eq_table(field, y, backend=be)
+        accs = []
+        for want_add in (True, False):
+            gidx = [
+                g
+                for g, gate in enumerate(gates)
+                if (gate.op == ADD) == want_add
+            ]
+            if not gidx:
+                accs.append(0)
+                continue
+            wz = be.take(eqz, be.index_array(gidx))
+            wx = be.take(eqx, be.index_array([gates[g].left for g in gidx]))
+            wy = be.take(eqy, be.index_array([gates[g].right for g in gidx]))
+            accs.append(be.sum(be.mul(be.mul(wz, wx), wy)))
+        return accs[0], accs[1]
     add_acc = 0
     mult_acc = 0
     for gidx, gate in enumerate(gates):
@@ -97,11 +131,18 @@ def wiring_mle_at(
 
 
 class GKRProver:
-    """Honest prover: stores the input vector, evaluates the circuit."""
+    """Honest prover: stores the input vector, evaluates the circuit.
 
-    def __init__(self, field: PrimeField, circuit: LayeredCircuit):
+    ``backend`` selects the compute path for the proof phase (circuit
+    evaluation, layer sum-checks, line restrictions); defaults to the
+    REPRO_BACKEND / auto selection.
+    """
+
+    def __init__(self, field: PrimeField, circuit: LayeredCircuit,
+                 backend=None):
         self.field = field
         self.circuit = circuit
+        self.backend = backend if backend is not None else get_backend(field)
         self.inputs: List[int] = [0] * circuit.input_size
 
     def process(self, i: int, delta: int) -> None:
@@ -119,29 +160,37 @@ class GKRProver:
 
 class StreamingGKRVerifier:
     """Pre-draws the coin tape, streams the input MLE at the two points the
-    final sum-check will land on."""
+    final sum-check will land on.
+
+    The two input-layer evaluations share one multipoint streaming LDE, so
+    :meth:`process_stream` digitises each key block once and pays only the
+    per-point table gathers (the batched Theorem 1 path)."""
 
     def __init__(
         self,
         field: PrimeField,
         circuit: LayeredCircuit,
         rng: Optional[random.Random] = None,
+        backend=None,
     ):
         self.field = field
         self.circuit = circuit
         rng = rng or random.Random()
         self.coins = GKRCoins(field, circuit, rng)
         rx, ry = self.coins.input_points()
-        self.lde_x = StreamingLDE(field, circuit.input_size, ell=2, point=rx)
-        self.lde_y = StreamingLDE(field, circuit.input_size, ell=2, point=ry)
+        self._mlde = MultipointStreamingLDE(
+            field, circuit.input_size, [rx, ry], ell=2, backend=backend
+        )
+        self.lde_x, self.lde_y = self._mlde.evaluators
 
     def process(self, i: int, delta: int) -> None:
-        self.lde_x.update(i, delta)
-        self.lde_y.update(i, delta)
+        self._mlde.update(i, delta)
 
     def process_stream(self, updates) -> None:
-        for i, delta in updates:
-            self.process(i, delta)
+        self._mlde.process_stream_batched(updates)
+
+    def process_stream_batched(self, updates, block: int = DEFAULT_BLOCK) -> None:
+        self._mlde.process_stream_batched(updates, block=block)
 
     @property
     def space_words(self) -> int:
@@ -164,10 +213,21 @@ def run_gkr(
     p = field.p
     circuit = verifier.circuit
     coins = verifier.coins
+    be = getattr(prover, "backend", None)
+    if be is None:
+        be = get_backend(field)
+    vec = getattr(be, "vectorized", False)
     round_counter = 0
 
-    values = circuit.evaluate(field, prover.inputs)
-    claimed_outputs = ch.prover_says(round_counter, "outputs", values[0])
+    # Layer values stay backend arrays end to end on the vectorized path;
+    # only the output layer crosses the channel as plain words.
+    if vec:
+        values = circuit.evaluate_arrays(field, prover.inputs, be)
+        outputs_payload = be.to_list(values[0])
+    else:
+        values = circuit.evaluate(field, prover.inputs)
+        outputs_payload = values[0]
+    claimed_outputs = ch.prover_says(round_counter, "outputs", outputs_payload)
     if len(claimed_outputs) != circuit.layer_size(0):
         return rejected(ch.transcript, "wrong number of outputs",
                         verifier.space_words)
@@ -175,47 +235,32 @@ def run_gkr(
     round_counter += 1
 
     z = coins.z0
-    m = mle_eval(field, claimed_outputs, z)
+    m = mle_eval(field, claimed_outputs, z, backend=be)
+    wiring_arrays = (
+        circuit.wiring_arrays(be) if vec else [None] * circuit.depth
+    )
 
     for i in range(circuit.depth):
         gates = circuit.layers[i]
-        b_layer = num_vars(circuit.layer_size(i))
         b_next = num_vars(circuit.layer_size(i + 1))
         n = 2 * b_next
         chal = coins.challenges[i]
-        values_next = pad_to_power_of_two(values[i + 1])
+        # pad_to_power_of_two already yields a canonical backend table
+        # (array under a vectorized backend, reduced list otherwise).
+        values_next = pad_to_power_of_two(values[i + 1], backend=be)
+        table = values_next
+        eq_z = eq_table(field, z, backend=be)
+        layer = LayerSumcheck(
+            field, gates, b_next, eq_z, table,
+            backend=be, wiring=wiring_arrays[i],
+        )
 
-        # Cache eq(z, gate index): z is fixed for the whole layer.
-        eq_z = [eq_eval(field, g, b_layer, z) for g in range(len(gates))]
-
-        def layer_poly(pt: Sequence[int]) -> int:
-            x = pt[:b_next]
-            y = pt[b_next:]
-            wx = mle_eval(field, values_next, x)
-            wy = mle_eval(field, values_next, y)
-            add_acc = 0
-            mult_acc = 0
-            for gidx, gate in enumerate(gates):
-                w = (
-                    eq_z[gidx]
-                    * eq_eval(field, gate.left, b_next, x)
-                    % p
-                    * eq_eval(field, gate.right, b_next, y)
-                    % p
-                )
-                if gate.op == ADD:
-                    add_acc += w
-                else:
-                    mult_acc += w
-            return (add_acc * (wx + wy) + mult_acc * wx * wy) % p
-
-        prefix: List[int] = []
         prev = m
         for j in range(n):
             msg = ch.prover_says(
                 round_counter,
                 "layer%d-g%d" % (i, j),
-                round_message(field, layer_poly, n, prefix, degree=2),
+                layer.round_message(),
             )
             if len(msg) != 3:
                 return rejected(
@@ -232,15 +277,13 @@ def run_gkr(
                 )
             prev = evaluate_from_evals(field, evals, chal[j])
             ch.verifier_says(round_counter, "layer%d-r%d" % (i, j), [chal[j]])
-            prefix.append(chal[j])
+            layer.receive_challenge(chal[j])
             round_counter += 1
 
         rx = chal[:b_next]
         ry = chal[b_next:]
         claims = ch.prover_says(
-            round_counter,
-            "layer%d-claims" % i,
-            [mle_eval(field, values_next, rx), mle_eval(field, values_next, ry)],
+            round_counter, "layer%d-claims" % i, list(layer.final_claims())
         )
         if len(claims) != 2:
             return rejected(ch.transcript, "layer %d: malformed claims" % i,
@@ -248,7 +291,11 @@ def run_gkr(
         wx, wy = claims[0] % p, claims[1] % p
         round_counter += 1
 
-        add_v, mult_v = wiring_mle_at(field, gates, b_layer, b_next, z, rx, ry)
+        # The folded per-op eq tables of the layer sum-check are exactly
+        # add̃/mult̃ at (z, rx, ry) — same values wiring_mle_at computes,
+        # already paid for.  The challenges come from the pre-drawn coin
+        # tape, so tampered prover messages cannot influence them.
+        add_v, mult_v = layer.wiring_values()
         if prev != (add_v * (wx + wy) + mult_v * wx * wy) % p:
             return rejected(
                 ch.transcript,
@@ -267,7 +314,9 @@ def run_gkr(
             line_msg = ch.prover_says(
                 round_counter,
                 "layer%d-line" % i,
-                restrict_to_line(field, values_next, rx, ry, b_next + 1),
+                restrict_to_line(
+                    field, values_next, rx, ry, b_next + 1, backend=be
+                ),
             )
             if len(line_msg) != b_next + 1:
                 return rejected(
@@ -302,7 +351,6 @@ def gkr_protocol(
     rng = rng or random.Random(0)
     verifier = StreamingGKRVerifier(field, circuit, rng=rng)
     prover = GKRProver(field, circuit)
-    for i, delta in stream.updates():
-        verifier.process(i, delta)
-        prover.process(i, delta)
+    verifier.process_stream(stream.updates())
+    prover.process_stream(stream.updates())
     return run_gkr(prover, verifier, channel)

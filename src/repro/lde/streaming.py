@@ -30,6 +30,39 @@ DEFAULT_BLOCK = 4096
 FUSE_LIMIT = 2048
 
 
+def apply_stream_batched(evaluators, updates, block: int = DEFAULT_BLOCK,
+                         strict_u: Optional[int] = None) -> None:
+    """Shared vectorized stream walk over one or more LDE evaluators.
+
+    All ``evaluators`` must be :class:`StreamingLDE` instances over the
+    same ``(u, ell)`` grid on a vectorized backend (callers are expected
+    to have routed scalar/heterogeneous cases to the per-update loop).
+    Each key block is split and digitised once — through the first
+    evaluator's fused tables — and applied to every evaluator.
+    ``strict_u`` optionally tightens the key range check below the padded
+    universe (protocol verifiers validate against their unpadded ``u``).
+    """
+    if block < 1:
+        raise ValueError("block size must be positive, got %d" % block)
+    if not evaluators:
+        return
+    first = evaluators[0]
+    it = iter(updates)
+    while True:
+        chunk = list(islice(it, block))
+        if not chunk:
+            break
+        keys, deltas = first._split_block(chunk)
+        if strict_u is not None and int(keys.max()) >= strict_u:
+            bad = int(keys[keys >= strict_u][0])
+            raise ValueError(
+                "key %d outside universe [0, %d)" % (bad, strict_u)
+            )
+        digit_arrays = first._digit_arrays(keys)
+        for evaluator in evaluators:
+            evaluator._apply_block(digit_arrays, deltas, len(chunk))
+
+
 def dimension_for(u: int, ell: int) -> int:
     """Smallest d with ``ℓ^d >= u`` (the paper pads u to a power of ℓ)."""
     if u < 1:
@@ -92,8 +125,14 @@ class StreamingLDE:
             )
         self.point = [x % field.p for x in point]
         # tables[j][k] = χ_k(r_j): all the verifier needs per update is d
-        # table lookups and d multiplications.
-        self.tables = [chi_table(field, ell, x) for x in self.point]
+        # table lookups and d multiplications.  Under a vectorized backend
+        # all d per-dimension tables are built in one batched pass.
+        if getattr(self.backend, "vectorized", False) and self.d > 1:
+            self.tables = chi_table_batch(
+                field, ell, self.point, backend=self.backend
+            )
+        else:
+            self.tables = [chi_table(field, ell, x) for x in self.point]
         self._fused = None  # lazy fused-table groups for the batched path
         self.value = 0
         self.updates_processed = 0
@@ -212,13 +251,7 @@ class StreamingLDE:
         if not getattr(be, "vectorized", False) or self.u > (1 << 62):
             self.process_stream(updates)
             return
-        it = iter(updates)
-        while True:
-            chunk = list(islice(it, block))
-            if not chunk:
-                break
-            keys, deltas = self._split_block(chunk)
-            self._apply_block(self._digit_arrays(keys), deltas, len(chunk))
+        apply_stream_batched([self], updates, block=block)
 
     @property
     def space_words(self) -> int:
@@ -323,19 +356,10 @@ class MultipointStreamingLDE:
         be = self.backend
         if not evaluators:
             return
-        first = evaluators[0]
-        if not getattr(be, "vectorized", False) or first.u > (1 << 62):
+        if not getattr(be, "vectorized", False) or evaluators[0].u > (1 << 62):
             self.process_stream(updates)
             return
-        it = iter(updates)
-        while True:
-            chunk = list(islice(it, block))
-            if not chunk:
-                break
-            keys, deltas = first._split_block(chunk)
-            digit_arrays = first._digit_arrays(keys)
-            for ev in evaluators:
-                ev._apply_block(digit_arrays, deltas, len(chunk))
+        apply_stream_batched(evaluators, updates, block=block)
 
     @property
     def values(self) -> List[int]:

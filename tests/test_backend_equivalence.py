@@ -267,3 +267,292 @@ def test_round_message_full_prefix():
 
     msg = round_message(F, f, 2, [5], degree=1)
     assert msg == [(15 + 0) % F.p, (15 + 1) % F.p]
+
+
+# -- GKR (layer sum-check engine + full protocol) ----------------------------
+
+
+def _random_layered_circuit(seed):
+    """A small irregular circuit exercising add/mul mixes and fan-out."""
+    from repro.gkr.circuits import ADD, MUL, Gate, LayeredCircuit
+
+    rng = random.Random(seed)
+    # Wires of layer i index layer i+1 (or the input layer at the bottom).
+    sizes = [2, 4, 8, 16]
+    layers = []
+    for li, width in enumerate(sizes[:-1]):
+        wire_range = sizes[li + 1]
+        layers.append(
+            [
+                Gate(rng.choice([ADD, MUL]), rng.randrange(wire_range),
+                     rng.randrange(wire_range))
+                for _ in range(width)
+            ]
+        )
+    return LayeredCircuit(layers, input_size=16)
+
+
+@needs_numpy
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_layer_sumcheck_matches_bruteforce_reference(seed):
+    """LayerSumcheck (both backends) vs the brute-force closure prover."""
+    from repro.gkr.circuits import ADD, num_vars
+    from repro.gkr.mle import eq_table, mle_eval, pad_to_power_of_two
+    from repro.gkr.sumcheck import LayerSumcheck
+    from repro.field.vectorized import canonical_table
+
+    rng = random.Random(100 + seed)
+    circuit = _random_layered_circuit(seed)
+    inputs = [rng.randrange(50) for _ in range(16)]
+    values = circuit.evaluate(F, inputs)
+    i = rng.randrange(circuit.depth)
+    gates = circuit.layers[i]
+    b_next = num_vars(circuit.layer_size(i + 1))
+    z = F.rand_vector(rng, num_vars(circuit.layer_size(i)))
+    chal = F.rand_vector(rng, 2 * b_next)
+    table_vals = pad_to_power_of_two(values[i + 1])
+    p = F.p
+
+    # Brute-force reference: enumerate the layer polynomial directly.
+    from repro.gkr.mle import eq_eval
+    from repro.gkr.sumcheck import round_message
+
+    eq_z = [eq_eval(F, g, num_vars(len(gates)), z) for g in range(len(gates))]
+
+    def layer_poly(pt):
+        x = pt[:b_next]
+        y = pt[b_next:]
+        wx = mle_eval(F, table_vals, x)
+        wy = mle_eval(F, table_vals, y)
+        add_acc = 0
+        mult_acc = 0
+        for gidx, gate in enumerate(gates):
+            w = (
+                eq_z[gidx]
+                * eq_eval(F, gate.left, b_next, x) % p
+                * eq_eval(F, gate.right, b_next, y) % p
+            )
+            if gate.op == ADD:
+                add_acc += w
+            else:
+                mult_acc += w
+        return (add_acc * (wx + wy) + mult_acc * wx * wy) % p
+
+    expected = []
+    prefix = []
+    for j in range(2 * b_next):
+        expected.append(round_message(F, layer_poly, 2 * b_next, prefix, 2))
+        prefix.append(chal[j])
+
+    for backend_name in ("scalar", "vectorized"):
+        be = get_backend(F, backend_name)
+        ls = LayerSumcheck(
+            F, gates, b_next,
+            eq_table(F, z, backend=be),
+            canonical_table(be, F, table_vals),
+            backend=be,
+        )
+        got = []
+        for j in range(2 * b_next):
+            got.append([int(v) for v in ls.round_message()])
+            ls.receive_challenge(chal[j])
+        assert got == expected, backend_name
+        wx, wy = ls.final_claims()
+        assert wx == mle_eval(F, table_vals, chal[:b_next])
+        assert wy == mle_eval(F, table_vals, chal[b_next:])
+        from repro.gkr.protocol import wiring_mle_at
+
+        assert ls.wiring_values() == wiring_mle_at(
+            F, gates, num_vars(len(gates)), b_next, z,
+            chal[:b_next], chal[b_next:],
+        )
+
+
+def run_gkr_with(backend_name):
+    from repro.gkr.circuits import f2_circuit
+    from repro.gkr.protocol import GKRProver, StreamingGKRVerifier, run_gkr
+
+    stream = uniform_frequency_stream(64, max_frequency=20,
+                                      rng=random.Random(61))
+    circuit = f2_circuit(64)
+    backend = get_backend(F, backend_name)
+    verifier = StreamingGKRVerifier(F, circuit, rng=random.Random(67),
+                                    backend=backend)
+    prover = GKRProver(F, circuit, backend=backend)
+    verifier.process_stream(stream.updates())
+    prover.process_stream(stream.updates())
+    ch = Channel()
+    result = run_gkr(prover, verifier, ch)
+    assert result.accepted, result.reason
+    return result, ch.transcript
+
+
+@needs_numpy
+def test_gkr_transcript_identical_across_backends():
+    scalar_result, scalar_tx = run_gkr_with("scalar")
+    vector_result, vector_tx = run_gkr_with("vectorized")
+    assert scalar_result.value == vector_result.value
+    assert scalar_tx.messages == vector_tx.messages
+
+
+@needs_numpy
+def test_eq_table_matches_eq_eval():
+    from repro.gkr.mle import eq_eval, eq_table
+
+    rng = random.Random(71)
+    point = F.rand_vector(rng, 5)
+    scalar = eq_table(F, point, backend=ScalarBackend(F))
+    vector = eq_table(F, point)
+    expected = [eq_eval(F, idx, 5, point) for idx in range(32)]
+    assert list(scalar) == expected
+    assert [int(v) for v in vector] == expected
+
+
+@needs_numpy
+def test_mle_helpers_identical_across_backends():
+    from repro.gkr.mle import mle_eval, pad_to_power_of_two, restrict_to_line
+
+    rng = random.Random(73)
+    values = [rng.randrange(-50, 50) for _ in range(13)]  # padded to 16
+    point = F.rand_vector(rng, 4)
+    be = get_backend(F, "vectorized")
+    assert mle_eval(F, values, point) == mle_eval(F, values, point, backend=be)
+    padded = pad_to_power_of_two(values, backend=be)
+    assert [int(v) for v in padded] == [v % F.p for v in
+                                        pad_to_power_of_two(values)]
+    start = F.rand_vector(rng, 4)
+    end = F.rand_vector(rng, 4)
+    assert restrict_to_line(F, values, start, end, 5, backend=be) == \
+        restrict_to_line(F, values, start, end, 5)
+
+
+@needs_numpy
+def test_circuit_evaluate_identical_across_backends():
+    from repro.gkr.circuits import f2_circuit
+
+    rng = random.Random(79)
+    circuit = f2_circuit(32)
+    inputs = [rng.randrange(-100, 100) for _ in range(32)]
+    scalar = circuit.evaluate(F, inputs)
+    vector = circuit.evaluate(F, inputs, backend=get_backend(F, "vectorized"))
+    assert scalar == vector
+
+
+# -- distributed (sharded) ----------------------------------------------------
+
+
+def run_sharded_with(backend_name, workers=4):
+    from repro.distributed.sharded import DistributedF2Prover
+
+    stream = uniform_frequency_stream(200, max_frequency=40,
+                                      rng=random.Random(83))
+    point = F.rand_vector(random.Random(89), 8)
+    verifier = F2Verifier(F, 256, point=point)
+    prover = DistributedF2Prover(F, 256, num_workers=workers,
+                                 backend=get_backend(F, backend_name))
+    for i, delta in stream.updates():
+        verifier.process(i, delta)
+        prover.process(i, delta)
+    ch = Channel()
+    result = run_f2(prover, verifier, ch)
+    assert result.accepted
+    return result, ch.transcript
+
+
+@needs_numpy
+@pytest.mark.parametrize("workers", [1, 4, 8])
+def test_sharded_transcript_identical_across_backends(workers):
+    scalar_result, scalar_tx = run_sharded_with("scalar", workers)
+    vector_result, vector_tx = run_sharded_with("vectorized", workers)
+    assert scalar_result.value == vector_result.value
+    assert scalar_tx.messages == vector_tx.messages
+
+
+# -- batched multiquery --------------------------------------------------------
+
+
+def run_batch_with(backend_name):
+    from repro.core.multiquery import run_batch_range_sum
+    from repro.core.range_sum import RangeSumProver, RangeSumVerifier
+
+    stream = uniform_frequency_stream(128, max_frequency=25,
+                                      rng=random.Random(97))
+    point = F.rand_vector(random.Random(101), 7)
+    verifier = RangeSumVerifier(F, 128, point=point)
+    prover = RangeSumProver(F, 128)
+    for i, delta in stream.updates():
+        verifier.process(i, delta)
+        prover.process_a(i, delta)
+    ch = Channel()
+    results = run_batch_range_sum(
+        prover, verifier, [(0, 30), (31, 90), (5, 127), (64, 64)],
+        ch, backend=get_backend(F, backend_name),
+    )
+    assert all(r.accepted for r in results)
+    return results, ch
+
+
+@needs_numpy
+def test_batch_multiquery_identical_across_backends():
+    scalar_results, scalar_ch = run_batch_with("scalar")
+    vector_results, vector_ch = run_batch_with("vectorized")
+    assert [r.value for r in scalar_results] == \
+        [r.value for r in vector_results]
+    assert scalar_ch.transcript.messages == vector_ch.transcript.messages
+    assert scalar_ch.query_words == vector_ch.query_words
+    assert scalar_ch.shared_words == vector_ch.shared_words
+
+
+# -- multipoint streaming LDE edge cases --------------------------------------
+
+
+def _multipoint_pair(u=48, npoints=3, seed=103):
+    rng = random.Random(seed)
+    d = StreamingLDE(F, u, ell=2, rng=rng,
+                     backend=ScalarBackend(F)).d
+    points = [F.rand_vector(random.Random(seed + k), d)
+              for k in range(npoints)]
+    scalar = MultipointStreamingLDE(F, u, points, backend=ScalarBackend(F))
+    vector = MultipointStreamingLDE(F, u, points)
+    return scalar, vector
+
+
+@needs_numpy
+def test_multipoint_batched_single_update_blocks():
+    scalar, vector = _multipoint_pair()
+    updates = mixed_updates(48, 37, seed=107)
+    scalar.process_stream(updates)
+    vector.process_stream_batched(updates, block=1)  # one update per block
+    assert vector.values == scalar.values
+
+
+@needs_numpy
+def test_multipoint_batched_block_larger_than_stream():
+    scalar, vector = _multipoint_pair()
+    updates = mixed_updates(48, 9, seed=109)
+    scalar.process_stream(updates)
+    vector.process_stream_batched(updates, block=10_000)
+    assert vector.values == scalar.values
+
+
+@needs_numpy
+def test_multipoint_batched_duplicate_indices_within_block():
+    scalar, vector = _multipoint_pair()
+    # Every key repeats, including insert-then-delete pairs in one block.
+    updates = [(7, 5), (7, -5), (3, 2), (3, 9), (3, -1), (47, 1), (47, 10)]
+    scalar.process_stream(updates)
+    vector.process_stream_batched(updates, block=len(updates))
+    assert vector.values == scalar.values
+    assert scalar.evaluators[0].updates_processed == len(updates)
+    assert vector.evaluators[0].updates_processed == len(updates)
+
+
+@needs_numpy
+def test_multipoint_batched_empty_and_invalid():
+    scalar, vector = _multipoint_pair()
+    vector.process_stream_batched([], block=4)
+    assert vector.values == scalar.values  # all zero
+    with pytest.raises(ValueError):
+        vector.process_stream_batched([(48, 1)])
+    with pytest.raises(ValueError):
+        vector.process_stream_batched([(0, 1)], block=0)

@@ -122,3 +122,40 @@ def test_coordinator_takeover_rounds():
         else:
             assert prover._coordinator_table is not None
     assert len(prover._coordinator_table) == 2
+
+
+# -- shard-count validation + backend plumbing --------------------------------
+
+
+def test_worker_count_error_messages_are_clear():
+    with pytest.raises(ValueError, match="power of two"):
+        DistributedF2Prover(F, 64, num_workers=6)
+    with pytest.raises(ValueError, match="at least two entries"):
+        DistributedF2Prover(F, 16, num_workers=16)
+
+
+def test_single_worker_degenerates_to_central():
+    from repro.core.f2 import F2Prover
+
+    central = F2Prover(F, 32)
+    solo = DistributedF2Prover(F, 32, num_workers=1)
+    for i, d in [(0, 3), (7, -2), (31, 5)]:
+        central.process(i, d)
+        solo.process(i, d)
+    central.begin_proof()
+    solo.begin_proof()
+    rng = random.Random(40)
+    for j in range(central.d):
+        assert list(central.round_message()) == list(solo.round_message())
+        if j < central.d - 1:
+            r = F.rand(rng)
+            central.receive_challenge(r)
+            solo.receive_challenge(r)
+
+
+def test_partial_message_requires_begin_proof():
+    prover = DistributedF2Prover(F, 16, num_workers=2)
+    with pytest.raises(RuntimeError):
+        prover.workers[0].partial_message()
+    with pytest.raises(RuntimeError):
+        prover.workers[0].fold(1)

@@ -233,3 +233,107 @@ def test_amplified_validates_repetitions():
 
     with pytest.raises(ValueError):
         amplified_protocol(lambda rng: None, 0)
+
+
+# -- batched-path satellites ---------------------------------------------------
+
+
+def test_batch_empty_queries_returns_empty():
+    stream = Stream(16, [(0, 1)])
+    prover, verifier = batch_session(stream)
+    channel = Channel()
+    assert run_batch_range_sum(prover, verifier, [], channel) == []
+    assert len(channel.transcript) == 0  # nothing hit the wire
+
+
+def test_batch_per_query_accounting_comparable_to_independent():
+    """query_cost(q) = own messages + shared challenges — the figure an
+    independent single-query run would pay for its prover+challenge words."""
+    from repro.core.range_sum import run_range_sum
+
+    stream = uniform_frequency_stream(64, max_frequency=9,
+                                      rng=random.Random(30))
+    queries = [(0, 10), (20, 50), (63, 63)]
+    prover, verifier = batch_session(stream, seed=31)
+    channel = Channel()
+    results = run_batch_range_sum(prover, verifier, queries, channel)
+    assert all(r.accepted for r in results)
+    # Every query was charged the same number of its own words: the
+    # 2-word range announcement plus one 3-word polynomial per round.
+    assert set(channel.query_words) == {0, 1, 2}
+    assert len(set(channel.query_words.values())) == 1
+    per_query = channel.query_words[0]
+    assert per_query == 2 + 3 * verifier.d
+    # Shared words: the d-1 revealed challenges, once for the batch.
+    assert channel.shared_words == verifier.d - 1
+    assert channel.query_cost(1) == per_query + channel.shared_words
+    # The per-query figure matches an independent run of the same query
+    # exactly: query + prover polynomials + revealed challenges.
+    single_prover, single_verifier = batch_session(stream, seed=32)
+    single_channel = Channel()
+    run_range_sum(single_prover, single_verifier, 20, 50, single_channel)
+    assert single_channel.transcript.total_words == channel.query_cost(1)
+
+
+def test_independent_copies_batched_matches_loop():
+    stream = uniform_frequency_stream(48, max_frequency=6,
+                                      rng=random.Random(33))
+    updates = list(stream.updates())
+    loop = IndependentCopies(3, lambda rng: F2Verifier(F, 48, rng=rng),
+                             rng=random.Random(34))
+    batched = IndependentCopies(3, lambda rng: F2Verifier(F, 48, rng=rng),
+                                rng=random.Random(34))
+    loop.process_stream(updates)
+    batched.process_stream_batched(updates, block=7)
+    for _ in range(3):
+        a = loop.take()
+        b = batched.take()
+        assert a.r == b.r
+        assert a.lde.value == b.lde.value
+
+
+def test_independent_copies_batched_validates_universe():
+    copies = IndependentCopies(2, lambda rng: F2Verifier(F, 40, rng=rng),
+                               rng=random.Random(35))
+    with pytest.raises(ValueError):
+        copies.process_stream_batched([(0, 1), (40, 2)])
+    with pytest.raises(ValueError):
+        copies.process_stream_batched([(0, 1)], block=0)
+
+
+def test_independent_copies_batched_falls_back_without_lde():
+    class Counter:
+        def __init__(self):
+            self.total = 0
+
+        def process(self, i, delta):
+            self.total += delta
+
+    copies = IndependentCopies(2, lambda rng: Counter(),
+                               rng=random.Random(36))
+    copies.process_stream_batched([(0, 1), (1, 2)])
+    assert all(v.total == 3 for v in copies._fresh)
+
+
+def test_independent_copies_batched_preserves_non_lde_state():
+    """Verifiers with streaming state beyond .lde (no STREAM_STATE_IS_LDE
+    opt-in) must take the per-update fallback, not lose their sketches."""
+    from repro.core.frequency_based import FrequencyBasedVerifier
+
+    stream = uniform_frequency_stream(32, max_frequency=4,
+                                      rng=random.Random(50))
+    updates = list(stream.updates())
+    loop = IndependentCopies(
+        2, lambda rng: FrequencyBasedVerifier(F, 32, 0.2, rng=rng),
+        rng=random.Random(51),
+    )
+    batched = IndependentCopies(
+        2, lambda rng: FrequencyBasedVerifier(F, 32, 0.2, rng=rng),
+        rng=random.Random(51),
+    )
+    loop.process_stream(updates)
+    batched.process_stream_batched(updates)
+    for a, b in zip(loop._fresh, batched._fresh):
+        assert a.lde.value == b.lde.value
+        assert a.hh.n == b.hh.n  # the heavy-hitters sketch streamed too
+        assert b.hh.n == sum(d for _, d in updates)

@@ -149,3 +149,146 @@ def test_prime_field_batch_inv_empty_and_single():
     assert field.batch_inv([]) == []
     assert field.batch_inv([7]) == [field.inv(7)]
     assert field.batch_inv([field.p - 1]) == [field.p - 1]
+
+
+# -- PR 2 primitives: select / nonzero / scatter / stacks / limb dot ----------
+
+
+def test_select_nonzero_concat(setup):
+    field, be, xs, ys = setup
+    sb = ScalarBackend(field)
+    bits = [v % 2 for v in range(40)]
+    a = [x % field.p for x in xs[:40]]
+    b = [y % field.p for y in ys[:40]]
+    expected = [a[t] if bits[t] else b[t] for t in range(40)]
+    assert be.to_list(be.select(be.index_array(bits), be.asarray(a),
+                                be.asarray(b))) == expected
+    assert sb.select(bits, a, b) == expected
+    # Scalar branches.
+    assert be.to_list(be.select(be.index_array(bits), 7, 0)) == \
+        [7 if v else 0 for v in bits]
+    assert sb.select(bits, 7, 0) == [7 if v else 0 for v in bits]
+    assert list(be.nonzero(be.index_array(bits))) == sb.nonzero(bits)
+    assert be.to_list(be.concat(be.asarray(a[:5]), be.asarray(b[:3]))) == \
+        sb.concat(a[:5], b[:3])
+
+
+def test_scatter_sum_matches_scalar(setup):
+    field, be, xs, _ = setup
+    sb = ScalarBackend(field)
+    rng = random.Random(field.p % 503)
+    size = 32
+    idx = [rng.randrange(size) for _ in range(len(xs))]
+    weights = [x % field.p for x in xs]
+    expected = sb.scatter_sum(idx, weights, size)
+    got = be.to_list(be.scatter_sum(be.index_array(idx),
+                                    be.asarray(weights), size))
+    assert got == expected
+    # Empty scatter yields zeros.
+    assert be.to_list(be.scatter_sum(be.index_array([]), be.asarray([]),
+                                     4)) == [0, 0, 0, 0]
+
+
+def test_scatter_sum_chunking(monkeypatch):
+    """Bucket sums stay exact across the chunk boundary."""
+    field = PrimeField(MERSENNE_61, check_prime=False)
+    be = VectorizedField(field)
+    monkeypatch.setattr(VectorizedField, "_SCATTER_CHUNK", 16)
+    rng = random.Random(1)
+    idx = [rng.randrange(3) for _ in range(100)]
+    weights = [rng.randrange(field.p) for _ in range(100)]
+    expected = ScalarBackend(field).scatter_sum(idx, weights, 3)
+    assert be.to_list(be.scatter_sum(be.index_array(idx),
+                                     be.asarray(weights), 3)) == expected
+
+
+def test_stack_row_ops_match_scalar(setup):
+    field, be, xs, ys = setup
+    sb = ScalarBackend(field)
+    rows = [
+        [x % field.p for x in xs[k * 16:(k + 1) * 16]] for k in range(4)
+    ]
+    weights = [y % field.p for y in ys[:16]]
+    r = xs[7] % field.p
+    rs = [y % field.p for y in ys[:4]]
+    assert be.row_sums(be.stack(rows)) == sb.row_sums(sb.stack(rows))
+    assert [be.to_list(row) for row in be.row_fold(be.stack(rows), r)] == \
+        sb.row_fold(sb.stack(rows), r)
+    assert [be.to_list(row) for row in be.row_fold(be.stack(rows), r,
+                                                   zero_weight=1)] == \
+        sb.row_fold(sb.stack(rows), r, zero_weight=1)
+    assert [be.to_list(row) for row in be.rows_fold(be.stack(rows), rs)] == \
+        sb.rows_fold(sb.stack(rows), rs)
+    assert be.row_weighted_sums(be.stack(rows), be.asarray(weights)) == \
+        sb.row_weighted_sums(sb.stack(rows), weights)
+
+
+def test_dot_limb_path_matches_reference(setup):
+    field, be, xs, ys = setup
+    a = [x % field.p for x in xs]
+    b = [y % field.p for y in ys]
+    expected = sum(x * y for x, y in zip(a, b)) % field.p
+    assert be.dot(be.asarray(a), be.asarray(b)) == expected
+    arr = be.asarray(a)
+    assert be.dot(arr, arr) == sum(x * x for x in a) % field.p
+
+
+def test_dot_chunking_is_exact(monkeypatch):
+    import repro.field.vectorized as vec
+
+    field = PrimeField(MERSENNE_61, check_prime=False)
+    be = VectorizedField(field)
+    monkeypatch.setattr(vec, "_DOT_CHUNK", 8)
+    rng = random.Random(2)
+    a = [rng.randrange(field.p) for _ in range(100)]
+    b = [rng.randrange(field.p) for _ in range(100)]
+    assert be.dot(be.asarray(a), be.asarray(b)) == \
+        sum(x * y for x, y in zip(a, b)) % field.p
+
+
+def test_f2_round_sums_matches_scalar(setup):
+    from repro.field.vectorized import f2_round_sums
+
+    field, be, xs, _ = setup
+    sb = ScalarBackend(field)
+    table = [x % field.p for x in xs[:64]]
+    assert f2_round_sums(be, field, be.asarray(table)) == \
+        f2_round_sums(sb, field, table)
+
+
+def test_fold_pairs_fast_path_edges():
+    """The relaxed-operand m61 fold must agree with the reference at the
+    challenge edges {0, 1, p-1} and on max-residue tables."""
+    from repro.field.vectorized import fold_pairs
+
+    field = PrimeField(MERSENNE_61, check_prime=False)
+    be = VectorizedField(field)
+    sb = ScalarBackend(field)
+    p = field.p
+    table = [0, p - 1, p - 1, 0, 1, p - 1, 123456789, p - 2]
+    for r in (0, 1, p - 1, 2, (p + 1) // 2):
+        assert be.to_list(fold_pairs(be, field, be.asarray(table), r)) == \
+            fold_pairs(sb, field, list(table), r)
+        assert be.to_list(fold_pairs(be, field, be.asarray(table), r,
+                                     zero_weight=1)) == \
+            fold_pairs(sb, field, list(table), r, zero_weight=1)
+
+
+def test_evaluate_from_evals_batch_matches_single():
+    from repro.field.polynomial import (
+        evaluate_from_evals,
+        evaluate_from_evals_batch,
+    )
+
+    field = PrimeField(MERSENNE_61, check_prime=False)
+    be = VectorizedField(field)
+    rng = random.Random(3)
+    tables = [[rng.randrange(field.p) for _ in range(4)] for _ in range(9)]
+    for x in (0, 2, 3, rng.randrange(field.p)):
+        expected = [evaluate_from_evals(field, t, x) for t in tables]
+        assert evaluate_from_evals_batch(field, tables, x) == expected
+        assert evaluate_from_evals_batch(field, tables, x, backend=be) == \
+            expected
+    assert evaluate_from_evals_batch(field, [], 5) == []
+    with pytest.raises(ValueError):
+        evaluate_from_evals_batch(field, [[1, 2], [1]], 5)

@@ -1,0 +1,145 @@
+"""Service throughput: sessions/sec, updates/sec, worker-pool speedup.
+
+Measures the prover-as-a-service subsystem end to end — real sockets,
+real frames — and the worker-pool execution mode's wall-clock gain over
+the sequential sharded coordinator.  Results land in
+``benchmarks/BENCH_service.json`` so later PRs can track the service's
+throughput trajectory.
+
+Smoke mode (``REPRO_SERVICE_SMOKE=1`` or ``REPRO_BENCH_SMOKE=1``) runs
+everything at toy sizes, keeps all correctness assertions (loadgen
+sessions verify, pooled transcripts byte-identical) and skips both the
+wall-clock bars and the JSON file.  The > 1.5x pool-speedup bar
+additionally requires >= 4 physical cores — thread-level Map-Reduce
+cannot beat 1.5x on fewer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import random
+import time
+
+import pytest
+
+from repro.comm.channel import Channel
+from repro.core.base import pow2_dimension
+from repro.core.f2 import F2Verifier, run_f2
+from repro.distributed.sharded import DistributedF2Prover
+from repro.field.modular import DEFAULT_FIELD as F
+from repro.field.vectorized import HAVE_NUMPY
+from repro.service import PooledDistributedF2Prover, ProverServer, run_load
+from repro.streams.generators import uniform_frequency_stream
+
+BENCH_SERVICE_JSON = pathlib.Path(__file__).resolve().parent / (
+    "BENCH_service.json"
+)
+
+SERVICE_SMOKE_ENV_VAR = "REPRO_SERVICE_SMOKE"
+
+
+def service_smoke() -> bool:
+    return bool(
+        os.environ.get(SERVICE_SMOKE_ENV_VAR, "").strip()
+        or os.environ.get("REPRO_BENCH_SMOKE", "").strip()
+    )
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = ProverServer(F)
+    handle = srv.serve_in_thread()
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture(scope="module")
+def service_bench_recorder():
+    records = []
+    yield records
+    if records and not service_smoke():
+        payload = {
+            "python": platform.python_version(),
+            "numpy": HAVE_NUMPY,
+            "cores": os.cpu_count(),
+            "results": records,
+        }
+        BENCH_SERVICE_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_service_session_throughput(server, service_bench_recorder):
+    """Full sessions (connect, provision, stream, batched + single
+    queries, verify, disconnect) per second."""
+    if service_smoke():
+        u, sessions, updates, concurrency = 1 << 8, 2, 100, 2
+    else:
+        u, sessions, updates, concurrency = 1 << 14, 8, 5000, 4
+    host, port = server.address
+    report = run_load(host, port, F, u, sessions=sessions,
+                      updates_per_session=updates, concurrency=concurrency,
+                      seed=7)
+    assert not report.failures, report.failures
+    assert report.queries_verified == report.queries_run
+    record = {"measure": "service_load", "u": u,
+              "concurrency": concurrency, **report.as_record()}
+    service_bench_recorder.append(record)
+    print("\nservice load: %.1f sessions/s, %.0f updates/s, %.1f queries/s"
+          % (report.sessions_per_second, report.updates_per_second,
+             report.queries_per_second))
+
+
+def test_worker_pool_wallclock_speedup(service_bench_recorder):
+    """Worker-pool prover vs the sequential sharded coordinator.
+
+    Transcripts must be byte-identical at any size; the > 1.5x
+    wall-clock bar applies only at full size on >= 4 cores (NumPy's
+    GIL-releasing kernels cannot overlap meaningfully below that).
+    """
+    if not HAVE_NUMPY:
+        pytest.skip("worker-pool speedup needs the vectorized backend")
+    u = 1 << 12 if service_smoke() else 1 << 21
+    workers = 8
+    stream = uniform_frequency_stream(u, max_frequency=1000,
+                                      rng=random.Random(11))
+    updates = list(stream.updates())
+    point = F.rand_vector(random.Random(13), pow2_dimension(u))
+
+    def drive(prover):
+        verifier = F2Verifier(F, u, point=point)
+        verifier.lde.process_stream_batched(updates)
+        channel = Channel()
+        start = time.perf_counter()
+        result = run_f2(prover, verifier, channel)
+        elapsed = time.perf_counter() - start
+        assert result.accepted
+        return elapsed, channel.transcript
+
+    sequential = DistributedF2Prover(F, u, num_workers=workers)
+    sequential.process_stream(updates)
+    t_seq, tx_seq = drive(sequential)
+
+    with PooledDistributedF2Prover(F, u, num_workers=workers) as pooled:
+        pooled.process_stream(updates)
+        t_pool, tx_pool = drive(pooled)
+
+    assert tx_seq.messages == tx_pool.messages  # byte-identical proof
+    speedup = t_seq / t_pool if t_pool else float("inf")
+    cores = os.cpu_count() or 1
+    service_bench_recorder.append({
+        "measure": "worker_pool_f2",
+        "u": u,
+        "workers": workers,
+        "cores": cores,
+        "seconds_sequential": t_seq,
+        "seconds_pooled": t_pool,
+        "speedup": speedup,
+    })
+    print("\nworker pool: %.3fs sequential vs %.3fs pooled (%.2fx, %d cores)"
+          % (t_seq, t_pool, speedup, cores))
+    if not service_smoke() and cores >= 4:
+        assert speedup > 1.5, (
+            "worker pool only %.2fx faster on %d cores" % (speedup, cores)
+        )

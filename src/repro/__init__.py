@@ -22,6 +22,7 @@ See README.md for the full tour and DESIGN.md for the system inventory.
 
 from repro.comm import Channel, Transcript
 from repro.core import (
+    BatchRangeSumProver,
     DictionaryAnswer,
     F2Prover,
     F2Verifier,
@@ -88,6 +89,7 @@ __all__ = [
     "F2Verifier",
     "FkProver",
     "FkVerifier",
+    "BatchRangeSumProver",
     "IndependentCopies",
     "InnerProductProver",
     "InnerProductVerifier",

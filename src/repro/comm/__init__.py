@@ -13,6 +13,16 @@ from repro.comm.fingerprint import (
     fingerprint_words,
 )
 from repro.comm.transcript import PROVER, VERIFIER, Message, Transcript
+from repro.comm.wire import (
+    WireFormatError,
+    decode_message,
+    decode_transcript,
+    decode_words,
+    encode_message,
+    encode_transcript,
+    encode_words,
+    transcript_wire_bytes,
+)
 
 __all__ = [
     "Channel",
@@ -23,8 +33,16 @@ __all__ = [
     "TamperHook",
     "Transcript",
     "VERIFIER",
+    "WireFormatError",
+    "decode_message",
+    "decode_transcript",
+    "decode_words",
     "drop_last_word",
+    "encode_message",
+    "encode_transcript",
+    "encode_words",
     "fingerprint_words",
     "flip_word",
     "replace_payload",
+    "transcript_wire_bytes",
 ]

@@ -34,6 +34,17 @@ from repro.core.base import (
     rejected,
 )
 from repro.field.modular import PrimeField
+from repro.field.vectorized import canonical_table, get_backend
+from repro.lde.streaming import (
+    DEFAULT_BLOCK,
+    FUSE_LIMIT,
+    split_update_block,
+)
+
+try:  # NumPy is optional; the scalar reference path needs none of this.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
 
 
 def heavy_threshold(phi: float, n: int) -> int:
@@ -54,14 +65,22 @@ class NodeRecord:
 
 
 class HeavyHittersProver:
-    """Stores the vector; builds per-level counts and folds hashes."""
+    """Stores the vector; builds per-level counts and folds hashes.
 
-    def __init__(self, field: PrimeField, u: int, phi: float):
+    Under a vectorized backend the count pyramid is built with adjacent-
+    pair array adds (exact int64 subtree counts), each level's heavy
+    parents are selected with one comparison + ``nonzero`` pass, and the
+    per-level hash fold runs as whole-array operations — no per-node
+    Python lists.  The scalar path below is the bit-identical reference.
+    """
+
+    def __init__(self, field: PrimeField, u: int, phi: float, backend=None):
         self.field = field
         self.u = u
         self.phi = phi
         self.d = pow2_dimension(u)
         self.size = 1 << self.d
+        self.backend = backend if backend is not None else get_backend(field)
         self.freq: List[int] = [0] * self.size
 
     def process(self, i: int, delta: int) -> None:
@@ -80,8 +99,30 @@ class HeavyHittersProver:
 
     def begin_proof(self) -> None:
         p = self.field.p
+        be = self.backend
+        self._vectorized = False
+        if getattr(be, "vectorized", False) and _np is not None:
+            try:
+                counts0 = _np.fromiter(
+                    self.freq, dtype=_np.int64, count=self.size
+                )
+            except (OverflowError, TypeError):
+                counts0 = None  # a count does not fit int64: scalar path
+            if counts0 is not None:
+                # Exact int64 subtree counts (strict streams keep every
+                # count in [0, n], far below 2^63), canonical hash array.
+                self._counts = [counts0]
+                while len(self._counts[-1]) > 1:
+                    lower = self._counts[-1]
+                    self._counts.append(lower[0::2] + lower[1::2])
+                self._n = int(self._counts[-1][0])
+                self._tau = heavy_threshold(self.phi, self._n)
+                self._hashes = canonical_table(be, self.field, self.freq)
+                self._level = 0
+                self._vectorized = True
+                return
         # Counts for every level, built bottom-up (integers, exact).
-        self._counts: List[List[int]] = [list(self.freq)]
+        self._counts = [list(self.freq)]
         while len(self._counts[-1]) > 1:
             lower = self._counts[-1]
             self._counts.append(
@@ -89,7 +130,7 @@ class HeavyHittersProver:
             )
         self._n = self._counts[-1][0]
         self._tau = heavy_threshold(self.phi, self._n)
-        self._hashes: List[int] = [f % p for f in self.freq]
+        self._hashes = [f % p for f in self.freq]
         self._level = 0
 
     def round_message(self) -> List[NodeRecord]:
@@ -98,13 +139,32 @@ class HeavyHittersProver:
         parent_counts = self._counts[l + 1]
         counts = self._counts[l]
         hashes = self._hashes
+        p = self.field.p
+        if self._vectorized:
+            # One comparison pass selects the heavy parents; their
+            # children are gathered pairwise (index order matches the
+            # scalar loop: parents ascending, left child then right).
+            parents = _np.nonzero(parent_counts >= self._tau)[0]
+            children = _np.empty(2 * parents.shape[0], dtype=_np.int64)
+            children[0::2] = 2 * parents
+            children[1::2] = 2 * parents + 1
+            child_hashes = self.backend.take(hashes, children)
+            child_counts = counts[children] % p
+            return [
+                NodeRecord(int(idx), int(h), int(c))
+                for idx, h, c in zip(
+                    children.tolist(),
+                    child_hashes.tolist(),
+                    child_counts.tolist(),
+                )
+            ]
         out = []
         for parent_idx, parent_count in enumerate(parent_counts):
             if parent_count < self._tau:
                 continue
             for child in (2 * parent_idx, 2 * parent_idx + 1):
                 out.append(
-                    NodeRecord(child, hashes[child], counts[child] % self.field.p)
+                    NodeRecord(child, hashes[child], counts[child] % p)
                 )
         return out
 
@@ -113,6 +173,14 @@ class HeavyHittersProver:
         p = self.field.p
         hashes = self._hashes
         counts_up = self._counts[self._level + 1]
+        if self._vectorized:
+            be = self.backend
+            self._hashes = be.add(
+                be.add(hashes[0::2], be.mul(r_l, hashes[1::2])),
+                be.mul(s_l, be.asarray(counts_up)),
+            )
+            self._level += 1
+            return
         self._hashes = [
             (hashes[2 * t] + r_l * hashes[2 * t + 1] + s_l * (counts_up[t] % p)) % p
             for t in range(len(counts_up))
@@ -131,12 +199,14 @@ class HeavyHittersVerifier:
         rng: Optional[random.Random] = None,
         r: Optional[Sequence[int]] = None,
         s: Optional[Sequence[int]] = None,
+        backend=None,
     ):
         self.field = field
         self.u = u
         self.phi = phi
         self.d = pow2_dimension(u)
         self.size = 1 << self.d
+        self.backend = backend if backend is not None else get_backend(field)
         if rng is None:
             rng = random.Random()
         self.r = list(r) if r is not None else field.rand_vector(rng, self.d)
@@ -145,6 +215,7 @@ class HeavyHittersVerifier:
             raise ValueError("need %d r and s parameters" % self.d)
         self.root = 0
         self.n = 0
+        self._fused = None  # lazy fused weight tables (batched path)
 
     def _weight(self, i: int) -> int:
         """Root-hash weight of one unit at leaf i (leaf path + all the
@@ -169,6 +240,98 @@ class HeavyHittersVerifier:
     def process_stream(self, updates) -> None:
         for i, delta in updates:
             self.process(i, delta)
+
+    # -- batched (vectorized) stream processing -----------------------------
+
+    def _fused_weight_tables(self):
+        """Fused (product, count-term) lookup tables per group of bits.
+
+        The root-hash weight of one unit at leaf i is a sum of suffix
+        products of ``r`` plus the leaf path itself — the count-augmented
+        analogue of an eq/χ tensor.  Per group of bits the tables are
+        built with the same doubling ``outer_flat`` recurrence as
+        :func:`repro.gkr.mle.eq_table`:
+
+            P[digit] = Π_{bits set} r_j          (the suffix product)
+            A[digit] = Σ_j s_j · Π_{m>j set} r_m  (the s terms, in-group)
+
+        and a block's weights combine groups top-down as
+        ``acc += A_k · tail; tail *= P_k`` with ``tail`` the product of
+        all higher groups.  Groups hold at most ``log2(FUSE_LIMIT)``
+        bits, so every table stays cache-resident.
+        """
+        if self._fused is None:
+            be = self.backend
+            g = 1
+            while (1 << (g + 1)) <= FUSE_LIMIT and g < self.d:
+                g += 1
+            groups = []  # (span, P table, A table), bottom bits first
+            j = 0
+            while j < self.d:
+                span = min(g, self.d - j)
+                prod = be.asarray([1])
+                acc = be.asarray([0])
+                # Descending bit order puts bit t at in-group position
+                # t - j (outer_flat prepends the new bit as the LSB).
+                for t in range(j + span - 1, j - 1, -1):
+                    acc = be.outer_flat(
+                        be.asarray([1, 1]),
+                        be.add(acc, be.mul(self.s[t], prod)),
+                    )
+                    prod = be.outer_flat(be.asarray([1, self.r[t]]), prod)
+                groups.append((span, prod, acc))
+                j += span
+            self._fused = groups
+        return self._fused
+
+    def process_stream_batched(self, updates, block: int = DEFAULT_BLOCK) -> None:
+        """Fold ``(i, δ)`` updates into (root, n) in vectorized blocks.
+
+        Identical results to :meth:`process_stream`; the per-leaf weights
+        of a whole block are a few fused table gathers instead of an O(d)
+        Python loop per update.  Falls back to the scalar loop when the
+        backend is not vectorized.
+        """
+        if block < 1:
+            raise ValueError("block size must be positive, got %d" % block)
+        be = self.backend
+        if not getattr(be, "vectorized", False) or self.u > (1 << 62):
+            self.process_stream(updates)
+            return
+        from itertools import islice
+
+        p = self.field.p
+        groups = self._fused_weight_tables()
+        shifts = []
+        shift = 0
+        for span, _prod, _acc in groups:
+            shifts.append(shift)
+            shift += span
+        it = iter(updates)
+        while True:
+            chunk = list(islice(it, block))
+            if not chunk:
+                break
+            keys, deltas = split_update_block(be, self.u, chunk)
+            acc = None
+            tail = None
+            for (span, prod, s_terms), sh in zip(
+                reversed(groups), reversed(shifts)
+            ):
+                digit = (keys >> sh) & ((1 << span) - 1)
+                a_g = be.take(s_terms, digit)
+                p_g = be.take(prod, digit)
+                if tail is None:
+                    acc = a_g
+                    tail = p_g
+                else:
+                    acc = be.add(acc, be.mul(a_g, tail))
+                    tail = be.mul(tail, p_g)
+            weights = be.add(acc, tail)
+            self.root = (self.root + be.dot(weights, deltas)) % p
+            # n is exact integer mass; deltas were reduced mod p for the
+            # root update, so re-sum the raw values at Python level.
+            self.n += sum(delta for _i, delta in chunk)
 
     @property
     def space_words(self) -> int:

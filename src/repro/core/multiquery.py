@@ -29,8 +29,142 @@ from repro.lde.streaming import (
 )
 
 
+class BatchRangeSumProver:
+    """The prover side of the lockstep multi-query RANGE-SUM rounds.
+
+    Holds one shared a-table plus a per-query indicator table; per round
+    it commits every query's degree-2 polynomial
+    (:meth:`round_messages`) before the shared challenge folds all
+    tables (:meth:`receive_challenge`).  :func:`run_batch_range_sum`
+    drives one of these — either built locally from a
+    :class:`~repro.core.range_sum.RangeSumProver`'s frequency vector or
+    standing in for a remote prover behind the service wire protocol
+    (:mod:`repro.service`), which implements the same three methods.
+
+    Under a vectorized backend the indicator tables form one
+    (queries × table) stack: each round's polynomials for *all* queries
+    are three ``rows_dot`` limb-plane passes (einsum matrix–vector
+    products, no modmul temporaries), and each challenge folds the whole
+    stack at once.  The per-query loops are the scalar reference;
+    transcripts are identical either way.
+    """
+
+    def __init__(self, field: PrimeField, u: int, backend=None):
+        from repro.core.base import pow2_dimension
+
+        self.field = field
+        self.u = u
+        self.d = pow2_dimension(u)
+        self.size = 1 << self.d
+        self.backend = backend if backend is not None else get_backend(field)
+        self.freq_a: List[int] = [0] * self.size
+        self._a_table = None
+        self._b_stack = None
+        self._b_tables: Optional[List[List[int]]] = None
+
+    # -- stream phase -------------------------------------------------------
+
+    def process(self, i: int, delta: int) -> None:
+        if not 0 <= i < self.u:
+            raise ValueError("key %d outside universe [0, %d)" % (i, self.u))
+        self.freq_a[i] += delta
+
+    def process_stream(self, updates) -> None:
+        for i, delta in updates:
+            self.process(i, delta)
+
+    def true_answer(self, lo: int, hi: int) -> int:
+        return sum(self.freq_a[lo : hi + 1])
+
+    @classmethod
+    def from_range_sum_prover(
+        cls, prover: RangeSumProver, backend=None
+    ) -> "BatchRangeSumProver":
+        """Wrap an existing single-query prover's frequency vector."""
+        out = cls(prover.field, prover.u, backend=backend)
+        out.freq_a = prover.freq_a
+        return out
+
+    # -- proof phase ---------------------------------------------------------
+
+    def receive_queries(self, queries: Sequence[Tuple[int, int]]) -> None:
+        """Materialise the indicator table of every query at once."""
+        for lo, hi in queries:
+            if not 0 <= lo <= hi < self.size:
+                raise ValueError("query range [%d, %d] invalid" % (lo, hi))
+        be = self.backend
+        p = self.field.p
+        if getattr(be, "vectorized", False):
+            self._a_table = be.asarray(self.freq_a)
+            # The indicator stack is written directly into one 2-D array.
+            self._b_stack = be.stack([be.zeros(self.size)] * len(queries))
+            for q, (lo, hi) in enumerate(queries):
+                self._b_stack[q, lo : hi + 1] = 1
+            self._b_tables = None
+        else:
+            self._a_table = [f % p for f in self.freq_a]
+            self._b_tables = []
+            for lo, hi in queries:
+                b = [0] * self.size
+                b[lo : hi + 1] = [1] * (hi - lo + 1)
+                self._b_tables.append(b)
+            self._b_stack = None
+
+    def round_messages(self) -> List[List[int]]:
+        """Every query's committed [g(0), g(1), g(2)] for this round."""
+        if self._a_table is None:
+            raise RuntimeError("receive_queries() must be called first")
+        be = self.backend
+        p = self.field.p
+        a_table = self._a_table
+        if self._b_stack is not None:
+            a_lo, a_hi = a_table[0::2], a_table[1::2]
+            a_at2 = be.sub(be.add(a_hi, a_hi), a_lo)
+            b_lo, b_hi = self._b_stack[:, 0::2], self._b_stack[:, 1::2]
+            b_at2 = be.sub(be.add(b_hi, b_hi), b_lo)
+            g0s = be.rows_dot(b_lo, a_lo)
+            g1s = be.rows_dot(b_hi, a_hi)
+            g2s = be.rows_dot(b_at2, a_at2)
+            return [list(g) for g in zip(g0s, g1s, g2s)]
+        messages = []
+        for b in self._b_tables:
+            g0 = g1 = g2 = 0
+            for t in range(0, len(a_table), 2):
+                a_lo, a_hi = a_table[t], a_table[t + 1]
+                bb_lo, bb_hi = b[t], b[t + 1]
+                g0 += a_lo * bb_lo
+                g1 += a_hi * bb_hi
+                g2 += (2 * a_hi - a_lo) * (2 * bb_hi - bb_lo)
+            messages.append([g0 % p, g1 % p, g2 % p])
+        return messages
+
+    def receive_challenge(self, r: int) -> None:
+        """Fold the shared a-table and every indicator table with ``r``."""
+        if self._a_table is None:
+            raise RuntimeError("receive_queries() must be called first")
+        be = self.backend
+        p = self.field.p
+        if self._b_stack is not None:
+            self._a_table = fold_pairs(be, self.field, self._a_table, r)
+            self._b_stack = be.row_fold(self._b_stack, r)
+            return
+        one_minus_r = (1 - r) % p
+        a_table = self._a_table
+        self._a_table = [
+            (one_minus_r * a_table[t] + r * a_table[t + 1]) % p
+            for t in range(0, len(a_table), 2)
+        ]
+        self._b_tables = [
+            [
+                (one_minus_r * b[t] + r * b[t + 1]) % p
+                for t in range(0, len(b), 2)
+            ]
+            for b in self._b_tables
+        ]
+
+
 def run_batch_range_sum(
-    prover: RangeSumProver,
+    prover,
     verifier: RangeSumVerifier,
     queries: Sequence[Tuple[int, int]],
     channel: Optional[Channel] = None,
@@ -44,11 +178,11 @@ def run_batch_range_sum(
     shared challenges, attributed per query on the channel
     (:meth:`repro.comm.channel.Channel.query_cost`).
 
-    Under a vectorized backend the prover keeps the indicator tables as
-    one (queries × table) stack: each round's polynomials for *all*
-    queries are three stacked array passes, and each challenge folds the
-    whole stack at once.  The per-query loops are the scalar reference;
-    transcripts are identical either way.
+    ``prover`` is a :class:`~repro.core.range_sum.RangeSumProver` (its
+    frequency vector is wrapped in a local
+    :class:`BatchRangeSumProver`) or any object with the batch-prover
+    interface itself — ``receive_queries`` / ``round_messages`` /
+    ``receive_challenge`` — such as the service layer's remote proxy.
     """
     ch = channel or Channel()
     field = verifier.field
@@ -60,23 +194,14 @@ def run_batch_range_sum(
             raise ValueError("query range [%d, %d] invalid" % (lo, hi))
     if not queries:
         return []
-    be = backend if backend is not None else get_backend(field)
-    vec = getattr(be, "vectorized", False)
-
-    # Per-query prover state: a dedicated b-table, one shared a-table.
-    if vec:
-        a_table = be.asarray(prover.freq_a)
-        # The indicator stack is written directly into one 2-D array.
-        b_stack = be.stack([be.zeros(verifier.size)] * len(queries))
-        for q, (lo, hi) in enumerate(queries):
-            b_stack[q, lo : hi + 1] = 1
+    if hasattr(prover, "round_messages"):
+        engine = prover
     else:
-        a_table = [f % p for f in prover.freq_a]
-        b_tables: List[List[int]] = []
-        for lo, hi in queries:
-            b = [0] * verifier.size
-            b[lo : hi + 1] = [1] * (hi - lo + 1)
-            b_tables.append(b)
+        engine = BatchRangeSumProver.from_range_sum_prover(
+            prover, backend=backend
+        )
+    engine.receive_queries(queries)
+
     # Each query's range announcement is charged to that query, so
     # Channel.query_cost stays directly comparable to a standalone run.
     for q, (lo, hi) in enumerate(queries):
@@ -88,26 +213,7 @@ def run_batch_range_sum(
 
     for j in range(d):
         # The prover commits every query's round polynomial first.
-        if vec:
-            a_lo, a_hi = a_table[0::2], a_table[1::2]
-            a_at2 = be.sub(be.add(a_hi, a_hi), a_lo)
-            b_lo, b_hi = b_stack[:, 0::2], b_stack[:, 1::2]
-            b_at2 = be.sub(be.add(b_hi, b_hi), b_lo)
-            g0s = be.row_weighted_sums(b_lo, a_lo)
-            g1s = be.row_weighted_sums(b_hi, a_hi)
-            g2s = be.row_weighted_sums(b_at2, a_at2)
-            messages = [list(g) for g in zip(g0s, g1s, g2s)]
-        else:
-            messages = []
-            for b in b_tables:
-                g0 = g1 = g2 = 0
-                for t in range(0, len(a_table), 2):
-                    a_lo, a_hi = a_table[t], a_table[t + 1]
-                    bb_lo, bb_hi = b[t], b[t + 1]
-                    g0 += a_lo * bb_lo
-                    g1 += a_hi * bb_hi
-                    g2 += (2 * a_hi - a_lo) * (2 * bb_hi - bb_lo)
-                messages.append([g0 % p, g1 % p, g2 % p])
+        messages = engine.round_messages()
         deliveries: List[Optional[List[int]]] = [None] * len(queries)
         for q, msg in enumerate(messages):
             delivered = ch.prover_says(j, "q%d-g%d" % (q, j + 1), msg,
@@ -135,23 +241,7 @@ def run_batch_range_sum(
         # Reveal r_j and fold all tables.
         if j < d - 1:
             ch.verifier_says(j, "r%d" % (j + 1), [verifier.r[j]])
-        r = verifier.r[j]
-        if vec:
-            a_table = fold_pairs(be, field, a_table, r)
-            b_stack = be.row_fold(b_stack, r)
-        else:
-            one_minus_r = (1 - r) % p
-            a_table = [
-                (one_minus_r * a_table[t] + r * a_table[t + 1]) % p
-                for t in range(0, len(a_table), 2)
-            ]
-            b_tables = [
-                [
-                    (one_minus_r * b[t] + r * b[t + 1]) % p
-                    for t in range(0, len(b), 2)
-                ]
-                for b in b_tables
-            ]
+        engine.receive_challenge(verifier.r[j])
 
     results = []
     fa_at_r = verifier.lde.value
@@ -277,6 +367,15 @@ class IndependentCopies:
             or not getattr(first.backend, "vectorized", False)
             or first.u > (1 << 62)
         ):
+            # Copies with their own batched walk (the tree-hash /
+            # heavy-hitters verifiers) still get it, one copy at a time;
+            # that needs a re-iterable update sequence.
+            if isinstance(updates, (list, tuple)) and all(
+                hasattr(v, "process_stream_batched") for v in self._fresh
+            ):
+                for v in self._fresh:
+                    v.process_stream_batched(updates, block=block)
+                return
             self.process_stream(updates)
             return
         # Verifiers validate keys against their own (unpadded) universe.

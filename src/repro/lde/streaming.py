@@ -63,6 +63,31 @@ def apply_stream_batched(evaluators, updates, block: int = DEFAULT_BLOCK,
             evaluator._apply_block(digit_arrays, deltas, len(chunk))
 
 
+def split_update_block(backend, u: int, chunk) -> tuple:
+    """(keys, deltas) backend arrays for a block of updates, range-checked.
+
+    Shared by every batched stream ingester (LDE, tree-hash and
+    heavy-hitters verifiers).  Keys outside ``[0, u)`` raise ValueError;
+    deltas that overflow int64 are re-split exactly at Python level.
+    """
+    try:
+        keys, deltas = backend.pair_columns(chunk)
+    except (OverflowError, TypeError):
+        keys = None  # some value does not even fit int64
+    if keys is None or int(keys.min()) < 0 or int(keys.max()) >= u:
+        for i, _delta in chunk:
+            if not 0 <= i < u:
+                raise ValueError(
+                    "key %d outside universe [0, %d)" % (i, u)
+                )
+        # Keys are in range, so only a delta overflowed int64: redo
+        # the split at Python level with exact big-int reduction.
+        keys = backend.index_array([i for i, _ in chunk])
+        deltas = backend.asarray([delta for _, delta in chunk])
+        return keys, deltas
+    return keys, backend.asarray(deltas)
+
+
 def dimension_for(u: int, ell: int) -> int:
     """Smallest d with ``ℓ^d >= u`` (the paper pads u to a power of ℓ)."""
     if u < 1:
@@ -217,23 +242,7 @@ class StreamingLDE:
 
     def _split_block(self, chunk):
         """(keys, deltas) arrays for a chunk, with range checking."""
-        be = self.backend
-        try:
-            keys, deltas = be.pair_columns(chunk)
-        except (OverflowError, TypeError):
-            keys = None  # some value does not even fit int64
-        if keys is None or int(keys.min()) < 0 or int(keys.max()) >= self.u:
-            for i, _delta in chunk:
-                if not 0 <= i < self.u:
-                    raise ValueError(
-                        "key %d outside universe [0, %d)" % (i, self.u)
-                    )
-            # Keys are in range, so only a delta overflowed int64: redo
-            # the split at Python level with exact big-int reduction.
-            keys = be.index_array([i for i, _ in chunk])
-            deltas = be.asarray([delta for _, delta in chunk])
-            return keys, deltas
-        return keys, be.asarray(deltas)
+        return split_update_block(self.backend, self.u, chunk)
 
     def process_stream_batched(self, updates, block: int = DEFAULT_BLOCK) -> None:
         """Process ``(i, δ)`` updates in vectorized blocks of size ``block``.

@@ -1,0 +1,77 @@
+"""Prover-as-a-service: the paper's outsourcing model as a real service.
+
+The repo's protocols verify outsourced computation — yet as library
+calls, prover and verifier live in one process.  This package gives them
+the service boundary the paper describes (a weak client streaming to a
+powerful server and verifying its answers):
+
+* :mod:`repro.service.protocol` — versioned binary frames over TCP,
+  payloads in the :mod:`repro.comm.wire` word encoding;
+* :mod:`repro.service.router` — declarative query descriptors routed
+  onto the matching ``core/`` protocol, with single-shot vs batched
+  (direct-sum) planning;
+* :mod:`repro.service.registry` — server-side datasets shared across
+  sessions (one server pass, many independent verifiers) and per-query
+  prover snapshots;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  asyncio prover server and the thin blocking verifier client whose
+  prover proxies exchange real frames per protocol round;
+* :mod:`repro.service.pool` — the sharded prover's map step on a thread
+  pool (NumPy releases the GIL): wall-clock Map-Reduce scaling with
+  byte-identical transcripts;
+* :mod:`repro.service.loadgen` — many concurrent sessions, measured.
+"""
+
+from repro.service.client import (
+    QueryCost,
+    QueryOutcome,
+    ServiceClient,
+    ServiceClientError,
+)
+from repro.service.loadgen import LoadReport, run_load
+from repro.service.pool import PooledDistributedF2Prover
+from repro.service.protocol import ServiceProtocolError
+from repro.service.registry import SessionRegistry
+from repro.service.router import (
+    QueryDescriptor,
+    QueryRouter,
+    RoutingError,
+    f2,
+    fk,
+    heavy_hitters,
+    inner_product,
+    k_largest,
+    point_lookup,
+    predecessor,
+    range_scan,
+    range_sum,
+    successor,
+)
+from repro.service.server import ProverServer, ServiceError
+
+__all__ = [
+    "LoadReport",
+    "PooledDistributedF2Prover",
+    "ProverServer",
+    "QueryCost",
+    "QueryDescriptor",
+    "QueryOutcome",
+    "QueryRouter",
+    "RoutingError",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceProtocolError",
+    "SessionRegistry",
+    "f2",
+    "fk",
+    "heavy_hitters",
+    "inner_product",
+    "k_largest",
+    "point_lookup",
+    "predecessor",
+    "range_scan",
+    "range_sum",
+    "run_load",
+    "successor",
+]

@@ -1,0 +1,605 @@
+"""The thin client verifier: blocking sockets, O(log u) state per copy.
+
+A :class:`ServiceClient` plays the paper's data owner.  It connects to a
+:class:`~repro.service.server.ProverServer`, *provisions* pools of
+independent streaming verifiers before any data flows (Definition 1:
+randomness precedes the stream; Section 7: one verified query consumes
+one independent copy), streams its updates — feeding every local pool
+and the remote dataset from the same blocks — and then asks verified
+queries through the :class:`~repro.service.router.QueryRouter`.
+
+The prover never runs locally: each prover-side protocol step crosses
+the wire as a ``P_CALL``/``P_REPLY`` frame pair through the remote
+proxies below, so the :class:`~repro.comm.channel.Channel` word counts
+of a query correspond one-to-one to real frames, and the client
+additionally meters raw bytes per query (:class:`QueryOutcome.cost`).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.comm.channel import Channel, TamperHook
+from repro.core.base import VerificationResult, pow2_dimension
+from repro.core.multiquery import IndependentCopies
+from repro.field.modular import PrimeField
+from repro.field.vectorized import get_backend
+from repro.lde.streaming import DEFAULT_BLOCK, apply_stream_batched
+from repro.service import protocol as sp
+from repro.service.router import (
+    PlanUnit,
+    QueryDescriptor,
+    QueryRouter,
+    RoutingError,
+)
+
+
+class ServiceClientError(RuntimeError):
+    """The service refused a request (its T_ERROR message)."""
+
+
+@dataclass(frozen=True)
+class QueryCost:
+    """What one verified query cost on the wire.
+
+    ``transcript_words`` is the protocol-level (s, t) accounting;
+    ``bytes_sent``/``bytes_received``/``frames`` are measured on the
+    actual socket traffic of the query (descriptor, every round frame,
+    close handshake).
+    """
+
+    transcript_words: int
+    bytes_sent: int
+    bytes_received: int
+    frames: int
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One verified answer plus its channel/frame cost."""
+
+    descriptor: QueryDescriptor
+    result: VerificationResult
+    cost: QueryCost
+
+
+# -- remote prover proxies -----------------------------------------------------
+
+
+class _RemoteProverBase:
+    def __init__(self, client: "ServiceClient", ref: int):
+        self._client = client
+        self._ref = ref
+        self.d = client.d
+
+    def _call(self, method: int, args: Sequence[int] = ()) -> List[int]:
+        return self._client._prover_call(self._ref, method, args)
+
+
+class RemoteSumcheckProver(_RemoteProverBase):
+    """F2 / Fk / RANGE-SUM / INNER-PRODUCT prover behind the wire."""
+
+    def __init__(self, client: "ServiceClient", ref: int,
+                 k: Optional[int] = None):
+        super().__init__(client, ref)
+        if k is not None:
+            self.k = k
+
+    def begin_proof(self) -> None:
+        self._call(sp.M_BEGIN_PROOF)
+
+    def round_message(self) -> List[int]:
+        return self._call(sp.M_ROUND_MESSAGE)
+
+    def receive_challenge(self, r: int) -> None:
+        self._call(sp.M_RECEIVE_CHALLENGE, [r])
+
+    def receive_query(self, lo: int, hi: int) -> None:
+        self._call(sp.M_RECEIVE_QUERY, [lo, hi])
+
+
+class RemoteTreeProver(_RemoteProverBase):
+    """SUB-VECTOR family prover (reporting / k-largest) behind the wire."""
+
+    normalized = False
+
+    def receive_query(self, lo: int, hi: int) -> None:
+        self._call(sp.M_RECEIVE_QUERY, [lo, hi])
+
+    def answer_entries(self) -> List[Tuple[int, int]]:
+        return _pairs(self._call(sp.M_ANSWER_ENTRIES))
+
+    def level0_siblings(self) -> List[Tuple[int, int]]:
+        return _pairs(self._call(sp.M_LEVEL0_SIBLINGS))
+
+    def receive_challenge(self, r_j: int) -> List[Tuple[int, int]]:
+        return _pairs(self._call(sp.M_FOLD_CHALLENGE, [r_j]))
+
+    def claim_predecessor(self, q: int) -> Tuple[int, int]:
+        return tuple(self._call(sp.M_CLAIM, [q])[:2])
+
+    def claim_successor(self, q: int) -> Tuple[int, int]:
+        return tuple(self._call(sp.M_CLAIM, [q])[:2])
+
+    def claim_kth_largest(self, k: int) -> Tuple[int, int]:
+        return tuple(self._call(sp.M_CLAIM, [k])[:2])
+
+
+class RemoteHeavyHittersProver(_RemoteProverBase):
+    """Heavy-hitters prover behind the wire."""
+
+    def begin_proof(self) -> None:
+        self._call(sp.M_BEGIN_PROOF)
+
+    def round_message(self):
+        from repro.core.heavy_hitters import NodeRecord
+
+        words = self._call(sp.M_ROUND_MESSAGE)
+        if len(words) % 3 != 0:
+            raise ServiceClientError("malformed heavy-hitters records")
+        return [
+            NodeRecord(words[t], words[t + 1], words[t + 2])
+            for t in range(0, len(words), 3)
+        ]
+
+    def receive_randomness(self, r_l: int, s_l: int) -> None:
+        self._call(sp.M_RECEIVE_RANDOMNESS, [r_l, s_l])
+
+
+class RemoteBatchRangeSumProver(_RemoteProverBase):
+    """Batched RANGE-SUM engine behind the wire (direct-sum rounds)."""
+
+    def __init__(self, client: "ServiceClient", ref: int):
+        super().__init__(client, ref)
+        self._num_queries = 0
+
+    def receive_queries(self, queries: Sequence[Tuple[int, int]]) -> None:
+        flat: List[int] = []
+        for lo, hi in queries:
+            flat.extend((lo, hi))
+        self._num_queries = len(queries)
+        self._call(sp.M_RECEIVE_QUERIES, flat)
+
+    def round_messages(self) -> List[List[int]]:
+        words = self._call(sp.M_ROUND_MESSAGES)
+        if len(words) != 3 * self._num_queries:
+            raise ServiceClientError("malformed batched round message")
+        return [words[t : t + 3] for t in range(0, len(words), 3)]
+
+    def receive_challenge(self, r: int) -> None:
+        self._call(sp.M_RECEIVE_CHALLENGE, [r])
+
+
+def _pairs(words: Sequence[int]) -> List[Tuple[int, int]]:
+    if len(words) % 2 != 0:
+        raise ServiceClientError("malformed pair list from the service")
+    return [(words[t], words[t + 1]) for t in range(0, len(words), 2)]
+
+
+# -- verifier pools ------------------------------------------------------------
+
+
+class _InnerProductPool:
+    """Independent INNER-PRODUCT verifier copies (two-vector ingest)."""
+
+    def __init__(self, copies: int, field: PrimeField, u: int,
+                 rng: random.Random):
+        from repro.core.inner_product import InnerProductVerifier
+
+        self._fresh = [
+            InnerProductVerifier(field, u,
+                                 rng=random.Random(rng.getrandbits(64)))
+            for _ in range(copies)
+        ]
+        self._vectorized = getattr(get_backend(field), "vectorized", False)
+
+    def feed(self, updates: Sequence[Tuple[int, int]], vector: int) -> None:
+        if not self._fresh:
+            return
+        ldes = [
+            v.lde_a if vector == 0 else v.lde_b for v in self._fresh
+        ]
+        if self._vectorized:
+            # One shared digitising pass feeds every copy's LDE.
+            apply_stream_batched(
+                ldes, updates, strict_u=min(v.u for v in self._fresh)
+            )
+            return
+        for v, lde in zip(self._fresh, ldes):
+            for i, delta in updates:
+                if not 0 <= i < v.u:
+                    raise ValueError(
+                        "key %d outside universe [0, %d)" % (i, v.u)
+                    )
+                lde.update(i, delta)
+
+    def take(self):
+        if not self._fresh:
+            raise LookupError("all independent protocol copies were consumed")
+        return self._fresh.pop()
+
+    @property
+    def remaining(self) -> int:
+        return len(self._fresh)
+
+
+class _Pool:
+    """Single-stream verifier pool riding IndependentCopies."""
+
+    def __init__(self, copies: int, pool_key: Tuple, field: PrimeField,
+                 u: int, rng: random.Random):
+        self.copies = IndependentCopies(
+            copies,
+            lambda copy_rng: QueryRouter.make_verifier(
+                pool_key, field, u, copy_rng
+            ),
+            rng=rng,
+        )
+
+    def feed(self, updates: Sequence[Tuple[int, int]], vector: int) -> None:
+        if vector != 0:
+            return  # the second operand only feeds inner-product pools
+        self.copies.process_stream_batched(updates)
+
+    def take(self):
+        return self.copies.take()
+
+    @property
+    def remaining(self) -> int:
+        return self.copies.remaining
+
+
+# -- the client ----------------------------------------------------------------
+
+
+class ServiceClient:
+    """One session against a prover service.
+
+    Parameters
+    ----------
+    host, port:
+        The service address.
+    field, u:
+        Field and universe; both must match the service (checked in the
+        handshake — a mismatch is an error frame, not silent corruption).
+    dataset_id:
+        Which server-side dataset to attach to.  Sessions sharing an id
+        share one server pass over the data.
+    provision:
+        ``{descriptor or pool key: copies}`` of verifier pools to create
+        *before* streaming.  More pools can be added with
+        :meth:`provision` while the stream is still empty (or before
+        this session has missed any updates).
+    rng:
+        Randomness source for every pool's verifier copies.
+    tamper:
+        Optional :class:`~repro.comm.channel.TamperHook` installed on
+        every query channel (models a corrupted network for soundness
+        experiments).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        field: PrimeField,
+        u: int,
+        dataset_id: int = 0,
+        provision: Optional[Dict] = None,
+        rng: Optional[random.Random] = None,
+        tamper: Optional[TamperHook] = None,
+        timeout: float = 30.0,
+    ):
+        self.field = field
+        self.u = u
+        self.d = pow2_dimension(u)
+        self.dataset_id = dataset_id
+        self.tamper = tamper
+        self._rng = rng or random.Random()
+        self._pools: Dict[Tuple, Union[_Pool, _InnerProductPool]] = {}
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.updates_streamed = 0
+
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        reply_type, session_id, payload = self._request(
+            sp.T_HELLO, 0, sp.hello_payload(field, u, dataset_id),
+            expect=sp.T_HELLO_ACK,
+        )
+        self.session_id = session_id
+        words = sp.parse_words(field, payload)
+        #: Updates the dataset already held when this session joined —
+        #: fetch them with :meth:`replay_missed` before provisioning can
+        #: be considered caught up.
+        self.missed_updates = words[0] if words else 0
+        if provision:
+            for key, copies in provision.items():
+                self.provision(key, copies)
+
+    # -- provisioning --------------------------------------------------------
+
+    def provision(self, what, copies: int = 1) -> Tuple:
+        """Create ``copies`` independent verifiers for a query family."""
+        if copies < 1:
+            raise ValueError("need at least one copy")
+        key = (
+            QueryRouter.verifier_pool_key(what)
+            if isinstance(what, QueryDescriptor)
+            else tuple(what)
+        )
+        if key in self._pools:
+            raise ValueError("pool %r is already provisioned" % (key,))
+        if self.updates_streamed:
+            raise ValueError(
+                "pools must be provisioned before the stream starts"
+            )
+        if key[0] == "inner-product":
+            self._pools[key] = _InnerProductPool(
+                copies, self.field, self.u, self._rng
+            )
+        else:
+            self._pools[key] = _Pool(
+                copies, key, self.field, self.u, self._rng
+            )
+        return key
+
+    def pool_remaining(self, what) -> int:
+        key = (
+            QueryRouter.verifier_pool_key(what)
+            if isinstance(what, QueryDescriptor)
+            else tuple(what)
+        )
+        return self._pools[key].remaining
+
+    # -- streaming -----------------------------------------------------------
+
+    def send_updates(self, pairs: Sequence[Tuple[int, int]],
+                     vector: int = 0, block: int = DEFAULT_BLOCK) -> None:
+        """Stream a batch of ``(key, delta)`` updates.
+
+        Each block feeds every provisioned verifier pool locally *and*
+        travels to the service in one UPDATES frame — the single pass
+        both parties observe.
+        """
+        pairs = list(pairs)
+        for key, _delta in pairs:
+            # Validate up front so no pool is left partially fed by a
+            # block that another pool (or the server) would reject.
+            if not 0 <= key < self.u:
+                raise ValueError(
+                    "key %d outside universe [0, %d)" % (key, self.u)
+                )
+        for start in range(0, len(pairs), block):
+            chunk = pairs[start : start + block]
+            for pool in self._pools.values():
+                pool.feed(chunk, vector)
+            self._request(
+                sp.T_UPDATES,
+                self.session_id,
+                sp.updates_payload(self.field, vector, chunk),
+                expect=sp.T_UPDATES_ACK,
+            )
+            self.updates_streamed += len(chunk)
+
+    def put(self, key: int, delta: int, vector: int = 0) -> None:
+        self.send_updates([(key, delta)], vector=vector)
+
+    def replay_missed(self) -> int:
+        """Fetch and locally process updates this session never saw.
+
+        Feeds the replayed blocks through the provisioned pools exactly
+        as :meth:`send_updates` would, so a late-joining verifier ends in
+        the same state as one that watched from the start.  Returns the
+        number of replayed updates.
+
+        Only valid before this session has streamed anything itself: the
+        replay re-serves the dataset's whole log, so a session that
+        already fed its pools would double-count its own updates.
+        """
+        if self.updates_streamed:
+            raise ValueError(
+                "replay after streaming would double-count the %d updates "
+                "this session already processed" % self.updates_streamed
+            )
+        self._send(sp.pack_frame(
+            sp.T_REPLAY_REQUEST,
+            self.session_id,
+            sp.words_payload(self.field, [0]),
+        ))
+        replayed = 0
+        while True:
+            frame_type, _session, payload = self._recv()
+            if frame_type == sp.T_ERROR:
+                raise ServiceClientError(sp.parse_error(payload))
+            if frame_type == sp.T_REPLAY_END:
+                break
+            if frame_type != sp.T_REPLAY_DATA:
+                raise ServiceClientError(
+                    "unexpected frame 0x%02x during replay" % frame_type
+                )
+            vector, pairs = sp.parse_updates(self.field, payload)
+            for pool in self._pools.values():
+                pool.feed(pairs, vector)
+            replayed += len(pairs)
+            self.updates_streamed += len(pairs)
+        self.missed_updates = 0
+        return replayed
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self, *descriptors: QueryDescriptor) -> List[QueryOutcome]:
+        """Run verified queries; returns one outcome per descriptor.
+
+        The router plans the descriptors first: multiple RANGE-SUM
+        descriptors share one batched direct-sum execution (and one
+        verifier copy); everything else runs single-shot, each consuming
+        one copy from its provisioned pool.
+        """
+        if not descriptors:
+            return []
+        outcomes: Dict[QueryDescriptor, QueryOutcome] = {}
+        for unit in QueryRouter.plan(list(descriptors)):
+            for descriptor, outcome in self._run_unit(unit):
+                outcomes[descriptor] = outcome
+        return [outcomes[q] for q in descriptors]
+
+    def _run_unit(self, unit: PlanUnit):
+        pool = self._pools.get(unit.pool_key)
+        if pool is None:
+            raise RoutingError(
+                "no pool provisioned for %r — pass it to provision() "
+                "before streaming" % (unit.pool_key,)
+            )
+        sent0, recv0 = self.bytes_sent, self.bytes_received
+        frames0 = self.frames_sent + self.frames_received
+        verifier = pool.take()
+
+        open_words: List[int] = [1 if unit.batched else 0]
+        for q in unit.descriptors:
+            open_words.extend(q.to_words())
+        _t, _s, payload = self._request(
+            sp.T_QUERY_OPEN,
+            self.session_id,
+            sp.words_payload(self.field, open_words),
+            expect=sp.T_QUERY_ACK,
+        )
+        ref = sp.parse_words(self.field, payload)[0]
+
+        proxy = self._make_proxy(unit, ref)
+        channel = Channel(tamper=self.tamper)
+        try:
+            result = QueryRouter.run(unit, proxy, verifier, channel)
+        finally:
+            self._request(
+                sp.T_QUERY_CLOSE,
+                self.session_id,
+                sp.words_payload(self.field, [ref]),
+                expect=sp.T_QUERY_CLOSE_ACK,
+            )
+        cost_frames = (self.frames_sent + self.frames_received) - frames0
+        if unit.batched:
+            # Per-query channel accounting; wire bytes are shared.
+            out = []
+            for index, (descriptor, res) in enumerate(
+                zip(unit.descriptors, result)
+            ):
+                cost = QueryCost(
+                    transcript_words=channel.query_cost(index),
+                    bytes_sent=self.bytes_sent - sent0,
+                    bytes_received=self.bytes_received - recv0,
+                    frames=cost_frames,
+                )
+                out.append((descriptor, QueryOutcome(descriptor, res, cost)))
+            return out
+        cost = QueryCost(
+            transcript_words=channel.transcript.total_words,
+            bytes_sent=self.bytes_sent - sent0,
+            bytes_received=self.bytes_received - recv0,
+            frames=cost_frames,
+        )
+        descriptor = unit.descriptors[0]
+        return [(descriptor, QueryOutcome(descriptor, result, cost))]
+
+    def _make_proxy(self, unit: PlanUnit, ref: int):
+        from repro.service.router import (
+            KIND_F2,
+            KIND_FK,
+            KIND_HEAVY_HITTERS,
+            KIND_INNER_PRODUCT,
+            KIND_RANGE_SUM,
+            TREE_KINDS,
+        )
+
+        if unit.batched:
+            return RemoteBatchRangeSumProver(self, ref)
+        kind = unit.descriptors[0].kind
+        if kind in TREE_KINDS:
+            return RemoteTreeProver(self, ref)
+        if kind == KIND_HEAVY_HITTERS:
+            return RemoteHeavyHittersProver(self, ref)
+        if kind == KIND_FK:
+            return RemoteSumcheckProver(self, ref,
+                                        k=unit.descriptors[0].params[0])
+        if kind in (KIND_F2, KIND_RANGE_SUM, KIND_INNER_PRODUCT):
+            return RemoteSumcheckProver(self, ref)
+        raise RoutingError("unroutable kind %r" % (kind,))
+
+    # -- service metadata ----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        _t, _s, payload = self._request(
+            sp.T_STATS, self.session_id, b"", expect=sp.T_STATS_REPLY
+        )
+        words = sp.parse_words(self.field, payload)
+        keys = ["datasets", "sessions", "updates", "open_queries",
+                "queries_served"]
+        return dict(zip(keys, words))
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            self._request(sp.T_BYE, self.session_id, b"", expect=sp.T_BYE_ACK)
+        except (OSError, ServiceClientError):
+            pass
+        self._sock.close()
+        self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- wire plumbing -------------------------------------------------------
+
+    def _prover_call(self, ref: int, method: int,
+                     args: Sequence[int]) -> List[int]:
+        _t, _s, payload = self._request(
+            sp.T_P_CALL,
+            self.session_id,
+            sp.words_payload(self.field, [ref, method, *args]),
+            expect=sp.T_P_REPLY,
+        )
+        return sp.parse_words(self.field, payload)
+
+    def _send(self, frame: bytes) -> None:
+        self._sock.sendall(frame)
+        self.bytes_sent += len(frame)
+        self.frames_sent += 1
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        while count:
+            chunk = self._sock.recv(count)
+            if not chunk:
+                raise ServiceClientError("connection closed by the service")
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
+
+    def _recv(self) -> Tuple[int, int, bytes]:
+        header = self._recv_exact(sp.HEADER_LEN)
+        frame_type, session_id, length = sp.unpack_header(header)
+        payload = self._recv_exact(length) if length else b""
+        self.bytes_received += sp.HEADER_LEN + length
+        self.frames_received += 1
+        return frame_type, session_id, payload
+
+    def _request(self, frame_type: int, session_id: int, payload: bytes,
+                 expect: int) -> Tuple[int, int, bytes]:
+        self._send(sp.pack_frame(frame_type, session_id, payload))
+        reply_type, reply_session, reply_payload = self._recv()
+        if reply_type == sp.T_ERROR:
+            raise ServiceClientError(sp.parse_error(reply_payload))
+        if reply_type != expect:
+            raise ServiceClientError(
+                "expected frame 0x%02x, got 0x%02x" % (expect, reply_type)
+            )
+        return reply_type, reply_session, reply_payload

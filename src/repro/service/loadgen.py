@@ -1,0 +1,198 @@
+"""Load generator: many concurrent client sessions against one service.
+
+Drives the full client lifecycle — connect, provision, stream, query,
+verify, disconnect — from ``concurrency`` OS threads (the blocking
+client pairs naturally with threads; the asyncio server interleaves all
+of them on one loop), and reports service-level throughput:
+sessions/sec, updates/sec, queries/sec, words and bytes on the wire.
+
+This is both the demo workload (``examples/service_quickstart.py``) and
+the measurement harness behind ``benchmarks/BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional
+
+from repro.field.modular import PrimeField
+from repro.service.client import ServiceClient
+from repro.service.router import QueryDescriptor, QueryRouter
+from repro.streams.generators import key_value_pairs
+
+
+@dataclass
+class LoadReport:
+    """Aggregate results of one load-generation run."""
+
+    sessions: int
+    updates_per_session: int
+    elapsed_seconds: float
+    queries_run: int
+    queries_verified: int
+    transcript_words: int
+    bytes_sent: int
+    bytes_received: int
+    failures: List[str] = dataclass_field(default_factory=list)
+
+    @property
+    def sessions_per_second(self) -> float:
+        return self.sessions / self.elapsed_seconds
+
+    @property
+    def updates_per_second(self) -> float:
+        return self.sessions * self.updates_per_session / self.elapsed_seconds
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.queries_run / self.elapsed_seconds
+
+    def as_record(self) -> Dict:
+        return {
+            "sessions": self.sessions,
+            "updates_per_session": self.updates_per_session,
+            "elapsed_seconds": self.elapsed_seconds,
+            "sessions_per_sec": self.sessions_per_second,
+            "updates_per_sec": self.updates_per_second,
+            "queries_per_sec": self.queries_per_second,
+            "queries_run": self.queries_run,
+            "queries_verified": self.queries_verified,
+            "transcript_words": self.transcript_words,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
+
+def session_workload(
+    client: ServiceClient,
+    updates: int,
+    queries: List[QueryDescriptor],
+    rng: random.Random,
+) -> List:
+    """One session's life: stream a KV workload, then verify queries."""
+    pairs = key_value_pairs(client.u, min(updates, client.u // 2), rng=rng)
+    encoded = [(k, v + 1) for k, v in pairs]
+    # Top up with repeat-visit updates when the universe bounds the
+    # number of distinct keys below the requested update count.
+    while len(encoded) < updates:
+        k, _v = pairs[rng.randrange(len(pairs))]
+        encoded.append((k, 1))
+    client.send_updates(encoded[:updates])
+    return client.query(*queries)
+
+
+def run_load(
+    host: str,
+    port: int,
+    field: PrimeField,
+    u: int,
+    sessions: int = 4,
+    updates_per_session: int = 1000,
+    concurrency: int = 4,
+    queries: Optional[List[QueryDescriptor]] = None,
+    seed: int = 0,
+    shared_dataset: bool = False,
+    dataset_base: int = 1,
+) -> LoadReport:
+    """Run ``sessions`` full client sessions and aggregate throughput.
+
+    With ``shared_dataset=False`` (the default) every session writes its
+    own dataset — the pure-throughput configuration.  With
+    ``shared_dataset=True`` all sessions attach to one dataset and only
+    the first writes; the rest replay the shared stream (the
+    many-verifiers-one-pass configuration), so run it with
+    ``concurrency=1`` to keep writer/reader order deterministic.
+
+    ``dataset_base`` offsets the per-session dataset ids (session ``i``
+    writes dataset ``dataset_base + i``); pick a fresh base when the
+    target service already holds datasets.
+    """
+    if queries is None:
+        queries = [
+            QueryDescriptor.from_words(w)
+            for w in ([3, 2, 0, u // 2], [4, 0], [3, 2, u // 4, u - 1])
+        ]
+    lock = threading.Lock()
+    totals = {
+        "queries_run": 0,
+        "queries_verified": 0,
+        "words": 0,
+        "sent": 0,
+        "received": 0,
+    }
+    failures: List[str] = []
+    pool_spec = {QueryRouter.verifier_pool_key(q) for q in queries}
+    plan_units = QueryRouter.plan(queries)
+
+    def one_session(index: int) -> None:
+        rng = random.Random(seed * 10007 + index)
+        try:
+            client = ServiceClient(
+                host,
+                port,
+                field,
+                u,
+                dataset_id=dataset_base if shared_dataset
+                else dataset_base + index,
+                rng=rng,
+            )
+            with client:
+                for key in pool_spec:
+                    # One copy per plan unit drawing from this pool.
+                    copies = sum(
+                        1 for unit in plan_units if unit.pool_key == key
+                    )
+                    client.provision(key, copies)
+                if shared_dataset and client.missed_updates:
+                    client.replay_missed()
+                    outcomes = client.query(*queries)
+                else:
+                    outcomes = session_workload(
+                        client, updates_per_session, queries, rng
+                    )
+            with lock:
+                totals["queries_run"] += len(outcomes)
+                totals["queries_verified"] += sum(
+                    1 for o in outcomes if o.result.accepted
+                )
+                totals["words"] += sum(
+                    o.cost.transcript_words for o in outcomes
+                )
+                totals["sent"] += client.bytes_sent
+                totals["received"] += client.bytes_received
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            with lock:
+                failures.append("session %d: %r" % (index, exc))
+
+    start = time.perf_counter()
+    if concurrency <= 1:
+        for index in range(sessions):
+            one_session(index)
+    else:
+        threads = []
+        for index in range(sessions):
+            t = threading.Thread(target=one_session, args=(index,))
+            threads.append(t)
+            t.start()
+            if len(threads) >= concurrency:
+                for t in threads:
+                    t.join()
+                threads = []
+        for t in threads:
+            t.join()
+    elapsed = time.perf_counter() - start
+
+    return LoadReport(
+        sessions=sessions,
+        updates_per_session=updates_per_session,
+        elapsed_seconds=elapsed,
+        queries_run=totals["queries_run"],
+        queries_verified=totals["queries_verified"],
+        transcript_words=totals["words"],
+        bytes_sent=totals["sent"],
+        bytes_received=totals["received"],
+        failures=failures,
+    )

@@ -1,0 +1,237 @@
+"""The service wire protocol: versioned binary frames over TCP.
+
+Every byte the prover service and the thin client verifier exchange
+travels in one of these frames, so the per-query communication a
+:class:`~repro.comm.channel.Channel` accounts for is *measured on real
+frames*, not simulated.  The payload of word-carrying frames is the
+:mod:`repro.comm.wire` word encoding (fixed-width big-endian field
+elements with a word-count prefix), making the frame layer a thin
+session envelope around the transcript format.
+
+Frame layout (big-endian)::
+
+    magic  "SI"        2 bytes
+    version            1 byte   (FRAME_VERSION)
+    frame type         1 byte   (T_* constants)
+    session id         4 bytes
+    payload length     4 bytes
+    payload            <length> bytes
+
+Decoding validates everything — magic, version, type, length bounds —
+and raises :class:`ServiceProtocolError` (a
+:class:`~repro.comm.wire.WireFormatError`) on damage: a malformed frame
+is a rejected conversation, never a crashed server.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.comm.wire import WireFormatError, decode_words, encode_words
+from repro.field.modular import PrimeField
+
+#: Version byte stamped on every frame; peers with a different version
+#: fail the handshake instead of misparsing each other.
+FRAME_VERSION = 1
+
+MAGIC = b"SI"
+HEADER_LEN = 12
+
+#: Hard cap on one frame's payload (64 MiB): a declared length beyond
+#: this is damage or abuse, not data.
+MAX_PAYLOAD = 1 << 26
+
+# -- frame types ---------------------------------------------------------------
+
+T_HELLO = 0x01          # client -> server: open a session on a dataset
+T_HELLO_ACK = 0x02      # server -> client: session id + missed updates
+T_UPDATES = 0x03        # client -> server: a block of stream updates
+T_UPDATES_ACK = 0x04    # server -> client: total updates applied
+T_REPLAY_REQUEST = 0x05  # client -> server: resend updates from an index
+T_REPLAY_DATA = 0x06    # server -> client: a block of replayed updates
+T_REPLAY_END = 0x07     # server -> client: replay complete
+T_QUERY_OPEN = 0x08     # client -> server: instantiate a prover
+T_QUERY_ACK = 0x09      # server -> client: query reference
+T_P_CALL = 0x0A         # client -> server: invoke a prover method
+T_P_REPLY = 0x0B        # server -> client: the method's word result
+T_QUERY_CLOSE = 0x0C    # client -> server: release a prover
+T_QUERY_CLOSE_ACK = 0x0D
+T_STATS = 0x0E          # client -> server: service statistics
+T_STATS_REPLY = 0x0F
+T_ERROR = 0x10          # server -> client: UTF-8 error message
+T_BYE = 0x11            # client -> server: end the session
+T_BYE_ACK = 0x12
+
+_KNOWN_TYPES = frozenset(range(T_HELLO, T_BYE_ACK + 1))
+
+# -- prover method opcodes (T_P_CALL payloads) --------------------------------
+#
+# The interactive protocols are driven by the client (the verifier); each
+# prover-side step crosses the wire as one P_CALL/P_REPLY exchange, so a
+# round of conversation is a round of frames.
+
+M_BEGIN_PROOF = 0x01        # () -> []
+M_ROUND_MESSAGE = 0x02      # () -> round polynomial / flattened records
+M_RECEIVE_CHALLENGE = 0x03  # (r) -> []
+M_RECEIVE_QUERY = 0x04      # (lo, hi) -> []
+M_ANSWER_ENTRIES = 0x05     # () -> flattened (key, value) pairs
+M_LEVEL0_SIBLINGS = 0x06    # () -> flattened (index, hash) pairs
+M_FOLD_CHALLENGE = 0x07     # (r) -> next level's flattened siblings
+M_CLAIM = 0x08              # (arg) -> (flag, key) claim
+M_RECEIVE_RANDOMNESS = 0x09  # (r, s) -> []  (heavy hitters)
+M_RECEIVE_QUERIES = 0x0A    # (lo1, hi1, ...) -> []  (batched range-sum)
+M_ROUND_MESSAGES = 0x0B     # () -> 3 words per query  (batched range-sum)
+
+
+class ServiceProtocolError(WireFormatError):
+    """A frame failed structural validation."""
+
+
+def pack_frame(frame_type: int, session_id: int, payload: bytes = b"") -> bytes:
+    """One framed message, ready for the socket."""
+    if frame_type not in _KNOWN_TYPES:
+        raise ServiceProtocolError("unknown frame type 0x%02x" % frame_type)
+    if not 0 <= session_id < (1 << 32):
+        raise ServiceProtocolError("session id %r out of range" % (session_id,))
+    if len(payload) > MAX_PAYLOAD:
+        raise ServiceProtocolError(
+            "payload of %d bytes exceeds the %d-byte cap"
+            % (len(payload), MAX_PAYLOAD)
+        )
+    return (
+        MAGIC
+        + bytes([FRAME_VERSION, frame_type])
+        + session_id.to_bytes(4, "big")
+        + len(payload).to_bytes(4, "big")
+        + payload
+    )
+
+
+def unpack_header(header: bytes) -> Tuple[int, int, int]:
+    """(frame type, session id, payload length) from a 12-byte header."""
+    if len(header) != HEADER_LEN:
+        raise ServiceProtocolError(
+            "frame header is %d bytes, expected %d" % (len(header), HEADER_LEN)
+        )
+    if header[:2] != MAGIC:
+        raise ServiceProtocolError("bad frame magic %r" % (header[:2],))
+    if header[2] != FRAME_VERSION:
+        raise ServiceProtocolError(
+            "frame version %d not supported (expected %d)"
+            % (header[2], FRAME_VERSION)
+        )
+    frame_type = header[3]
+    if frame_type not in _KNOWN_TYPES:
+        raise ServiceProtocolError("unknown frame type 0x%02x" % frame_type)
+    session_id = int.from_bytes(header[4:8], "big")
+    length = int.from_bytes(header[8:12], "big")
+    if length > MAX_PAYLOAD:
+        raise ServiceProtocolError(
+            "declared payload of %d bytes exceeds the %d-byte cap"
+            % (length, MAX_PAYLOAD)
+        )
+    return frame_type, session_id, length
+
+
+# -- payload helpers -----------------------------------------------------------
+
+
+def words_payload(field: PrimeField, words: Sequence[int]) -> bytes:
+    """Word-encoded payload (the transcript wire format)."""
+    return encode_words(field, words)
+
+
+def parse_words(field: PrimeField, payload: bytes) -> List[int]:
+    try:
+        return decode_words(field, payload)
+    except WireFormatError as exc:
+        raise ServiceProtocolError("bad word payload: %s" % exc) from exc
+
+
+#: Largest universe the wire protocol admits.  Keys and query bounds
+#: travel as field words, and query ranges span the dyadic padding of u,
+#: so ``2^ceil(log2 u)`` must stay below every supported modulus
+#: (p = 2^61 - 1 is the smallest practical field): cap u at 2^60.
+MAX_UNIVERSE = 1 << 60
+
+
+def hello_payload(field: PrimeField, u: int, dataset_id: int) -> bytes:
+    """HELLO body: word width (1) | p | u (8) | dataset id (8).
+
+    The field modulus travels explicitly so a client/server field
+    mismatch fails the handshake instead of corrupting every later word.
+    """
+    width = field.word_bytes
+    if not 1 <= u <= MAX_UNIVERSE:
+        raise ServiceProtocolError("universe size %r out of range" % (u,))
+    if not 0 <= dataset_id < (1 << 64):
+        raise ServiceProtocolError("dataset id %r out of range" % (dataset_id,))
+    return (
+        bytes([width])
+        + field.p.to_bytes(width, "big")
+        + u.to_bytes(8, "big")
+        + dataset_id.to_bytes(8, "big")
+    )
+
+
+def parse_hello(payload: bytes) -> Tuple[int, int, int]:
+    """(p, u, dataset id) from a HELLO body."""
+    if len(payload) < 1:
+        raise ServiceProtocolError("empty HELLO payload")
+    width = payload[0]
+    if width < 1 or len(payload) != 1 + width + 16:
+        raise ServiceProtocolError("HELLO payload has the wrong length")
+    p = int.from_bytes(payload[1 : 1 + width], "big")
+    u = int.from_bytes(payload[1 + width : 9 + width], "big")
+    dataset_id = int.from_bytes(payload[9 + width : 17 + width], "big")
+    if not 1 <= u <= MAX_UNIVERSE:
+        raise ServiceProtocolError("universe size %r out of range" % (u,))
+    return p, u, dataset_id
+
+
+def encode_signed(field: PrimeField, delta: int) -> int:
+    """Signed stream delta -> wire word (canonical residue)."""
+    return delta % field.p
+
+
+def decode_signed(field: PrimeField, word: int) -> int:
+    """Wire word -> signed delta: residues above p/2 read as negative.
+
+    Stream deltas are small signed integers in every workload; the
+    symmetric decoding keeps the server's exact integer frequencies (and
+    n accounting) identical to the client's view.
+    """
+    half = field.p >> 1
+    return word - field.p if word > half else word
+
+
+def updates_payload(field: PrimeField, vector: int, pairs) -> bytes:
+    """UPDATES/REPLAY_DATA body: [vector, k1, d1, k2, d2, ...] words."""
+    words = [vector]
+    for key, delta in pairs:
+        words.append(key)
+        words.append(encode_signed(field, delta))
+    return words_payload(field, words)
+
+
+def parse_updates(field: PrimeField, payload: bytes):
+    """(vector, [(key, signed delta), ...]) from an UPDATES body."""
+    words = parse_words(field, payload)
+    if not words or len(words) % 2 != 1:
+        raise ServiceProtocolError("updates payload has the wrong shape")
+    vector = words[0]
+    if vector not in (0, 1):
+        raise ServiceProtocolError("unknown update vector %d" % vector)
+    pairs = [
+        (words[t], decode_signed(field, words[t + 1]))
+        for t in range(1, len(words), 2)
+    ]
+    return vector, pairs
+
+
+def error_payload(message: str) -> bytes:
+    return message.encode("utf-8")
+
+
+def parse_error(payload: bytes) -> str:
+    return payload.decode("utf-8", errors="replace")

@@ -1,0 +1,203 @@
+"""Server-side state: datasets, sessions and in-flight queries.
+
+The paper's outsourcing model separates roles: the *service* (the
+powerful cloud) stores everything once; each *client* is a weak verifier
+with O(log u) words of private state.  The registry realises that split
+server-side:
+
+* a :class:`Dataset` holds one update stream — the "shared server pass":
+  any number of sessions attach to the same dataset and the service pays
+  its storage once, however many independent verifiers watch it;
+* a :class:`Session` is one connected client verifier, holding only
+  references and its open queries;
+* an :class:`ActiveQuery` owns the prover materialised (through the
+  :class:`~repro.service.router.QueryRouter`) for one verified query —
+  with its own frequency snapshot, so proofs stay consistent while other
+  sessions keep streaming into the dataset.
+
+Late-joining sessions catch up via the dataset's replay log: a verifier
+must observe the *whole* stream, so the server re-serves the prefix it
+missed (the bytes are the same updates it already stored — no second
+pass over the data, just a second read).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base import pow2_dimension
+from repro.field.modular import PrimeField
+from repro.service.router import PlanUnit, QueryDescriptor, QueryRouter
+
+
+class RegistryError(ValueError):
+    """A structurally valid frame asked for something impossible."""
+
+
+class Dataset:
+    """One outsourced update stream, shared by any number of sessions."""
+
+    def __init__(self, field: PrimeField, u: int, dataset_id: int):
+        self.field = field
+        self.u = u
+        self.dataset_id = dataset_id
+        self.d = pow2_dimension(u)
+        self.size = 1 << self.d
+        # Dense padded frequency vectors: vector 0 is the primary stream,
+        # vector 1 the optional second operand of INNER-PRODUCT queries.
+        self.freq_a: List[int] = [0] * self.size
+        self.freq_b: List[int] = [0] * self.size
+        #: Replay log: (vector, key, delta) in arrival order.  This is
+        #: the stream both parties observed; late verifiers re-read it.
+        self.log: List[Tuple[int, int, int]] = []
+        self.sessions_attached = 0
+
+    @property
+    def n_updates(self) -> int:
+        return len(self.log)
+
+    def apply(self, vector: int, pairs) -> int:
+        """Append a block of updates; returns the new stream length."""
+        freq = self.freq_a if vector == 0 else self.freq_b
+        for key, delta in pairs:
+            if not 0 <= key < self.u:
+                raise RegistryError(
+                    "key %d outside universe [0, %d)" % (key, self.u)
+                )
+            freq[key] += delta
+            self.log.append((vector, key, delta))
+        return len(self.log)
+
+    def replay_slice(self, start: int, count: int):
+        """A block of logged updates for catch-up replay."""
+        if start < 0:
+            raise RegistryError("replay start must be non-negative")
+        return self.log[start : start + count]
+
+
+class ActiveQuery:
+    """One in-flight verified query and its server-side prover."""
+
+    def __init__(self, ref: int, unit: PlanUnit, prover):
+        self.ref = ref
+        self.unit = unit
+        self.prover = prover
+
+    @property
+    def kind(self) -> int:
+        return self.unit.descriptors[0].kind
+
+
+class Session:
+    """One connected client verifier."""
+
+    def __init__(self, session_id: int, dataset: Dataset):
+        self.session_id = session_id
+        self.dataset = dataset
+        self.queries: Dict[int, ActiveQuery] = {}
+        self._next_query_ref = 1
+
+    def open_query(self, unit: PlanUnit, prover) -> ActiveQuery:
+        ref = self._next_query_ref
+        self._next_query_ref += 1
+        active = ActiveQuery(ref, unit, prover)
+        self.queries[ref] = active
+        return active
+
+    def close_query(self, ref: int) -> None:
+        if ref not in self.queries:
+            raise RegistryError("unknown query reference %d" % ref)
+        del self.queries[ref]
+
+
+class SessionRegistry:
+    """All service state: datasets by id, sessions by id, counters.
+
+    ``prover_wrapper`` is a soundness-experiment hook: when set, every
+    materialised prover passes through ``wrapper(unit, prover, dataset)``
+    before serving its query — the adversarial provers of
+    :mod:`repro.adversary.cheating_provers` slot in here to model a
+    cheating cloud behind the real wire (tests assert every one of them
+    is rejected by the remote verifier).
+    """
+
+    #: Default bound on a dataset's universe: the dense padded frequency
+    #: vectors cost O(2^ceil(log2 u)) memory, so a client-supplied u is a
+    #: resource request and must be capped — a session asking for more is
+    #: refused with an error frame, not allocated into an OOM kill.
+    DEFAULT_MAX_UNIVERSE = 1 << 24
+
+    def __init__(self, field: PrimeField, prover_wrapper=None,
+                 max_universe: int = DEFAULT_MAX_UNIVERSE):
+        self.field = field
+        self.prover_wrapper = prover_wrapper
+        self.max_universe = max_universe
+        self.datasets: Dict[int, Dataset] = {}
+        self.sessions: Dict[int, Session] = {}
+        self._next_session_id = 1
+        self.queries_served = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def connect(self, u: int, dataset_id: int) -> Session:
+        if not 1 <= u <= self.max_universe:
+            raise RegistryError(
+                "universe size %d outside this service's limit [1, %d]"
+                % (u, self.max_universe)
+            )
+        dataset = self.datasets.get(dataset_id)
+        if dataset is None:
+            dataset = Dataset(self.field, u, dataset_id)
+            self.datasets[dataset_id] = dataset
+        elif dataset.u != u:
+            raise RegistryError(
+                "dataset %d has universe %d, session asked for %d"
+                % (dataset_id, dataset.u, u)
+            )
+        session = Session(self._next_session_id, dataset)
+        self._next_session_id += 1
+        self.sessions[session.session_id] = session
+        dataset.sessions_attached += 1
+        return session
+
+    def session(self, session_id: int) -> Session:
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise RegistryError("unknown session %d" % session_id)
+        return session
+
+    def disconnect(self, session_id: int) -> None:
+        session = self.sessions.pop(session_id, None)
+        if session is not None:
+            session.dataset.sessions_attached -= 1
+
+    # -- queries -------------------------------------------------------------
+
+    def open_query(self, session_id: int,
+                   descriptors: List[QueryDescriptor],
+                   batched: bool) -> ActiveQuery:
+        session = self.session(session_id)
+        dataset = session.dataset
+        unit = PlanUnit(batched, tuple(descriptors))
+        prover = QueryRouter.make_prover(
+            unit, self.field, dataset.u, dataset.freq_a, dataset.freq_b
+        )
+        if self.prover_wrapper is not None:
+            replacement = self.prover_wrapper(unit, prover, dataset)
+            if replacement is not None:
+                prover = replacement
+        self.queries_served += 1
+        return session.open_query(unit, prover)
+
+    # -- statistics ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "datasets": len(self.datasets),
+            "sessions": len(self.sessions),
+            "updates": sum(d.n_updates for d in self.datasets.values()),
+            "open_queries": sum(
+                len(s.queries) for s in self.sessions.values()
+            ),
+            "queries_served": self.queries_served,
+        }

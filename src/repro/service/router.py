@@ -1,0 +1,379 @@
+"""Query routing: declarative descriptors onto the core protocols.
+
+A :class:`QueryDescriptor` names *what* the client wants verified (point
+lookup, range sum, F2, heavy hitters, ...); the :class:`QueryRouter`
+decides *how*: which ``core/`` protocol runs it, which streaming
+verifier the client must have provisioned before the stream, which
+prover the server materialises from its dataset, and whether several
+descriptors can share one batched execution
+(:func:`~repro.core.multiquery.run_batch_range_sum`'s direct-sum rounds)
+instead of consuming one independent verifier copy each.
+
+The router is pure planning/dispatch logic — it runs identically
+in-process (tests drive it without sockets) and behind the service wire
+protocol (the server materialises provers through it, the client picks
+verifier pools and drivers through it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.comm.channel import Channel
+from repro.core.base import VerificationResult
+from repro.core.f2 import F2Prover, F2Verifier, run_f2
+from repro.core.fk import FkProver, FkVerifier, run_fk
+from repro.core.heavy_hitters import (
+    HeavyHittersProver,
+    HeavyHittersVerifier,
+    run_heavy_hitters,
+)
+from repro.core.inner_product import (
+    InnerProductProver,
+    InnerProductVerifier,
+    run_inner_product,
+)
+from repro.core.k_largest import KLargestProver, k_largest_query
+from repro.core.multiquery import BatchRangeSumProver, run_batch_range_sum
+from repro.core.range_sum import RangeSumProver, RangeSumVerifier, run_range_sum
+from repro.core.reporting import (
+    ReportingProver,
+    index_query,
+    predecessor_query,
+    range_query,
+    successor_query,
+)
+from repro.core.subvector import TreeHashVerifier
+from repro.field.modular import PrimeField
+
+# -- query kinds ---------------------------------------------------------------
+
+KIND_POINT_LOOKUP = 1    # params: (key,)            -> verified a_key
+KIND_RANGE_SCAN = 2      # params: (lo, hi)          -> SubVectorAnswer
+KIND_RANGE_SUM = 3       # params: (lo, hi)          -> verified range sum
+KIND_F2 = 4              # params: () | (workers,)   -> self-join size
+KIND_FK = 5              # params: (k,)              -> k-th moment
+KIND_INNER_PRODUCT = 6   # params: ()                -> join size of a and b
+KIND_HEAVY_HITTERS = 7   # params: (num, den)        -> {key: count}, phi=num/den
+KIND_K_LARGEST = 8       # params: (k,)              -> k-th largest key
+KIND_PREDECESSOR = 9     # params: (q,)              -> largest key <= q
+KIND_SUCCESSOR = 10      # params: (q,)              -> smallest key >= q
+
+KIND_NAMES = {
+    KIND_POINT_LOOKUP: "point-lookup",
+    KIND_RANGE_SCAN: "range-scan",
+    KIND_RANGE_SUM: "range-sum",
+    KIND_F2: "f2",
+    KIND_FK: "fk",
+    KIND_INNER_PRODUCT: "inner-product",
+    KIND_HEAVY_HITTERS: "heavy-hitters",
+    KIND_K_LARGEST: "k-largest",
+    KIND_PREDECESSOR: "predecessor",
+    KIND_SUCCESSOR: "successor",
+}
+
+_PARAM_COUNTS = {
+    KIND_POINT_LOOKUP: (1, 1),
+    KIND_RANGE_SCAN: (2, 2),
+    KIND_RANGE_SUM: (2, 2),
+    KIND_F2: (0, 1),
+    KIND_FK: (1, 1),
+    KIND_INNER_PRODUCT: (0, 0),
+    KIND_HEAVY_HITTERS: (2, 2),
+    KIND_K_LARGEST: (1, 1),
+    KIND_PREDECESSOR: (1, 1),
+    KIND_SUCCESSOR: (1, 1),
+}
+
+#: The SUB-VECTOR tree-hash family: one TreeHashVerifier serves any of
+#: these (each verified query still consumes one independent copy).
+TREE_KINDS = frozenset(
+    [KIND_POINT_LOOKUP, KIND_RANGE_SCAN, KIND_K_LARGEST,
+     KIND_PREDECESSOR, KIND_SUCCESSOR]
+)
+
+
+class RoutingError(ValueError):
+    """A descriptor cannot be mapped onto a protocol."""
+
+
+@dataclass(frozen=True)
+class QueryDescriptor:
+    """A declarative query: kind + integer parameters.
+
+    Descriptors are what crosses the wire (as words), what the router
+    plans over, and what tests construct directly.
+    """
+
+    kind: int
+    params: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        bounds = _PARAM_COUNTS.get(self.kind)
+        if bounds is None:
+            raise RoutingError("unknown query kind %r" % (self.kind,))
+        low, high = bounds
+        if not low <= len(self.params) <= high:
+            raise RoutingError(
+                "%s takes %s parameters, got %d"
+                % (
+                    KIND_NAMES[self.kind],
+                    "%d" % low if low == high else "%d..%d" % (low, high),
+                    len(self.params),
+                )
+            )
+        if any(v < 0 for v in self.params):
+            raise RoutingError("query parameters must be non-negative")
+
+    @property
+    def name(self) -> str:
+        return KIND_NAMES[self.kind]
+
+    def to_words(self) -> List[int]:
+        return [self.kind, len(self.params), *self.params]
+
+    @classmethod
+    def from_words(cls, words: Sequence[int]) -> "QueryDescriptor":
+        if len(words) < 2:
+            raise RoutingError("descriptor needs at least kind and arity")
+        kind, count = words[0], words[1]
+        if count != len(words) - 2:
+            raise RoutingError("descriptor arity does not match its words")
+        return cls(kind, tuple(words[2:]))
+
+
+# convenience constructors ----------------------------------------------------
+
+
+def point_lookup(key: int) -> QueryDescriptor:
+    return QueryDescriptor(KIND_POINT_LOOKUP, (key,))
+
+
+def range_scan(lo: int, hi: int) -> QueryDescriptor:
+    return QueryDescriptor(KIND_RANGE_SCAN, (lo, hi))
+
+
+def range_sum(lo: int, hi: int) -> QueryDescriptor:
+    return QueryDescriptor(KIND_RANGE_SUM, (lo, hi))
+
+
+def f2(workers: int = 0) -> QueryDescriptor:
+    return QueryDescriptor(KIND_F2, (workers,) if workers else ())
+
+
+def fk(k: int) -> QueryDescriptor:
+    return QueryDescriptor(KIND_FK, (k,))
+
+
+def inner_product() -> QueryDescriptor:
+    return QueryDescriptor(KIND_INNER_PRODUCT)
+
+
+def heavy_hitters(phi_num: int, phi_den: int) -> QueryDescriptor:
+    return QueryDescriptor(KIND_HEAVY_HITTERS, (phi_num, phi_den))
+
+
+def k_largest(k: int) -> QueryDescriptor:
+    return QueryDescriptor(KIND_K_LARGEST, (k,))
+
+
+def predecessor(q: int) -> QueryDescriptor:
+    return QueryDescriptor(KIND_PREDECESSOR, (q,))
+
+
+def successor(q: int) -> QueryDescriptor:
+    return QueryDescriptor(KIND_SUCCESSOR, (q,))
+
+
+# -- execution plan ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanUnit:
+    """One protocol execution: a batch of range-sums or a single query."""
+
+    batched: bool
+    descriptors: Tuple[QueryDescriptor, ...]
+
+    @property
+    def pool_key(self) -> Tuple:
+        return QueryRouter.verifier_pool_key(self.descriptors[0])
+
+
+class QueryRouter:
+    """Maps descriptors onto protocols, verifiers, provers and plans."""
+
+    # -- planning ------------------------------------------------------------
+
+    @staticmethod
+    def plan(descriptors: Sequence[QueryDescriptor]) -> List[PlanUnit]:
+        """Group descriptors into executions.
+
+        Two or more RANGE-SUM descriptors share one direct-sum batched
+        run (one verifier copy, shared challenges — Section 7); every
+        other descriptor is a single-shot unit.  Order of the returned
+        units follows first appearance, so results can be re-matched to
+        the request order via the units' descriptors.
+        """
+        sums = [q for q in descriptors if q.kind == KIND_RANGE_SUM]
+        units: List[PlanUnit] = []
+        batched_emitted = False
+        for q in descriptors:
+            if q.kind == KIND_RANGE_SUM and len(sums) > 1:
+                if not batched_emitted:
+                    units.append(PlanUnit(True, tuple(sums)))
+                    batched_emitted = True
+                continue
+            units.append(PlanUnit(False, (q,)))
+        return units
+
+    # -- verifier side -------------------------------------------------------
+
+    @staticmethod
+    def verifier_pool_key(descriptor: QueryDescriptor) -> Tuple:
+        """Provisioning key: descriptors with the same key can consume
+        copies from the same pool of independent verifiers."""
+        kind = descriptor.kind
+        if kind in TREE_KINDS:
+            return ("tree",)
+        if kind == KIND_RANGE_SUM:
+            return ("range-sum",)
+        if kind == KIND_F2:
+            return ("f2",)
+        if kind == KIND_FK:
+            return ("fk", descriptor.params[0])
+        if kind == KIND_INNER_PRODUCT:
+            return ("inner-product",)
+        if kind == KIND_HEAVY_HITTERS:
+            return ("heavy-hitters",) + tuple(descriptor.params)
+        raise RoutingError("unroutable kind %r" % (kind,))
+
+    @staticmethod
+    def make_verifier(pool_key: Tuple, field: PrimeField, u: int,
+                      rng: random.Random):
+        """A fresh streaming verifier for one pool key (drawn *before*
+        the stream, as Definition 1 requires)."""
+        family = pool_key[0]
+        if family == "tree":
+            return TreeHashVerifier(field, u, rng=rng)
+        if family == "range-sum":
+            return RangeSumVerifier(field, u, rng=rng)
+        if family == "f2":
+            return F2Verifier(field, u, rng=rng)
+        if family == "fk":
+            return FkVerifier(field, u, pool_key[1], rng=rng)
+        if family == "inner-product":
+            return InnerProductVerifier(field, u, rng=rng)
+        if family == "heavy-hitters":
+            num, den = pool_key[1], pool_key[2]
+            if den == 0 or not 0 < num / den <= 1:
+                raise RoutingError("heavy-hitters phi %d/%d invalid"
+                                   % (num, den))
+            return HeavyHittersVerifier(field, u, num / den, rng=rng)
+        raise RoutingError("unroutable pool key %r" % (pool_key,))
+
+    # -- prover side ---------------------------------------------------------
+
+    @staticmethod
+    def make_prover(unit: PlanUnit, field: PrimeField, u: int,
+                    freq_a: Sequence[int],
+                    freq_b: Optional[Sequence[int]] = None):
+        """Materialise the server-side prover for one plan unit.
+
+        ``freq_a``/``freq_b`` are the dataset's padded frequency
+        vectors; they are copied so an in-flight proof stays consistent
+        while other sessions keep streaming into the dataset.
+        """
+        descriptor = unit.descriptors[0]
+        kind = descriptor.kind
+        if unit.batched:
+            prover = BatchRangeSumProver(field, u)
+            prover.freq_a = list(freq_a)
+            return prover
+        if kind == KIND_RANGE_SUM:
+            prover = RangeSumProver(field, u)
+            prover.freq_a = list(freq_a)
+            return prover
+        if kind in TREE_KINDS:
+            cls = KLargestProver if kind == KIND_K_LARGEST else ReportingProver
+            prover = cls(field, u)
+            prover.freq = list(freq_a)
+            return prover
+        if kind == KIND_F2:
+            workers = descriptor.params[0] if descriptor.params else 0
+            if workers:
+                from repro.service.pool import PooledDistributedF2Prover
+
+                prover = PooledDistributedF2Prover(field, u,
+                                                   num_workers=workers)
+                for i, f in enumerate(freq_a):
+                    if f:
+                        prover.process(i, f)
+                return prover
+            prover = F2Prover(field, u)
+            prover.freq = list(freq_a)
+            return prover
+        if kind == KIND_FK:
+            prover = FkProver(field, u, descriptor.params[0])
+            prover.freq = list(freq_a)
+            return prover
+        if kind == KIND_INNER_PRODUCT:
+            prover = InnerProductProver(field, u)
+            prover.freq_a = list(freq_a)
+            prover.freq_b = list(freq_b if freq_b is not None
+                                 else [0] * len(freq_a))
+            return prover
+        if kind == KIND_HEAVY_HITTERS:
+            num, den = descriptor.params
+            if den == 0 or not 0 < num / den <= 1:
+                raise RoutingError("heavy-hitters phi %d/%d invalid"
+                                   % (num, den))
+            prover = HeavyHittersProver(field, u, num / den)
+            prover.freq = list(freq_a)
+            return prover
+        raise RoutingError("unroutable kind %r" % (kind,))
+
+    # -- drivers -------------------------------------------------------------
+
+    @staticmethod
+    def run(unit: PlanUnit, prover, verifier,
+            channel: Optional[Channel] = None):
+        """Drive one plan unit's interactive protocol.
+
+        ``prover`` may be a local object or the client's remote proxy —
+        the drivers only see the protocol interface.  Returns one
+        :class:`VerificationResult` for a single-shot unit, a list (one
+        per descriptor, in batch order) for a batched unit.
+        """
+        ch = channel or Channel()
+        descriptor = unit.descriptors[0]
+        kind = descriptor.kind
+        if unit.batched:
+            queries = [q.params for q in unit.descriptors]
+            return run_batch_range_sum(prover, verifier, queries, ch)
+        if kind == KIND_POINT_LOOKUP:
+            return index_query(prover, verifier, descriptor.params[0], ch)
+        if kind == KIND_RANGE_SCAN:
+            lo, hi = descriptor.params
+            return range_query(prover, verifier, lo, hi, ch)
+        if kind == KIND_RANGE_SUM:
+            lo, hi = descriptor.params
+            return run_range_sum(prover, verifier, lo, hi, ch)
+        if kind == KIND_F2:
+            return run_f2(prover, verifier, ch)
+        if kind == KIND_FK:
+            return run_fk(prover, verifier, ch)
+        if kind == KIND_INNER_PRODUCT:
+            return run_inner_product(prover, verifier, ch)
+        if kind == KIND_HEAVY_HITTERS:
+            return run_heavy_hitters(prover, verifier, ch)
+        if kind == KIND_K_LARGEST:
+            return k_largest_query(prover, verifier, descriptor.params[0], ch)
+        if kind == KIND_PREDECESSOR:
+            return predecessor_query(prover, verifier, descriptor.params[0],
+                                     ch)
+        if kind == KIND_SUCCESSOR:
+            return successor_query(prover, verifier, descriptor.params[0], ch)
+        raise RoutingError("unroutable kind %r" % (kind,))

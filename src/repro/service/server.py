@@ -1,0 +1,415 @@
+"""The prover service: an asyncio TCP server around the session registry.
+
+One server process plays the paper's *cloud*: it ingests update streams
+into shared datasets and answers prover-side protocol steps for any
+number of concurrently connected client verifiers.  Handlers are
+synchronous between awaits, so every frame is applied atomically —
+concurrent sessions interleave at frame granularity and each in-flight
+query works on its own frequency snapshot (see
+:mod:`repro.service.registry`).
+
+A structurally malformed frame or an impossible request is answered with
+a ``T_ERROR`` frame (and, for framing damage, a closed connection) —
+never a crash: the service treats its clients exactly as the verifier
+treats the prover.
+
+For tests and the CLI the server also runs on a daemon thread
+(:meth:`ProverServer.serve_in_thread`), giving synchronous callers a
+real listening port without managing an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import List, Optional
+
+from repro.core.heavy_hitters import NodeRecord
+from repro.field.modular import PrimeField
+from repro.service import protocol as sp
+from repro.service.registry import RegistryError, SessionRegistry
+from repro.service.router import (
+    KIND_K_LARGEST,
+    KIND_PREDECESSOR,
+    KIND_SUCCESSOR,
+    QueryDescriptor,
+    RoutingError,
+)
+
+#: Replayed updates per T_REPLAY_DATA frame.
+REPLAY_BLOCK = 4096
+
+
+def _flatten_pairs(pairs) -> List[int]:
+    return [word for pair in pairs for word in pair]
+
+
+def _flatten_records(records) -> List[int]:
+    out = []
+    for rec in records:
+        out.extend((rec.index, rec.hash_value, rec.count))
+    return out
+
+
+class ServiceError(RuntimeError):
+    """Server-side rejection delivered to the client as T_ERROR."""
+
+
+class ProverServer:
+    """Prover-as-a-service endpoint.
+
+    Parameters
+    ----------
+    field:
+        The service-wide prime field; sessions whose HELLO carries a
+        different modulus are refused.
+    host, port:
+        Listening address; port 0 picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(self, field: PrimeField, host: str = "127.0.0.1",
+                 port: int = 0, prover_wrapper=None,
+                 max_universe: int = SessionRegistry.DEFAULT_MAX_UNIVERSE):
+        self.field = field
+        self.host = host
+        self.port = port
+        self.registry = SessionRegistry(field, prover_wrapper=prover_wrapper,
+                                        max_universe=max_universe)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    def serve_in_thread(self) -> "ServerHandle":
+        """Boot the server on a daemon thread; returns a stop handle."""
+        started = threading.Event()
+        loop_holder = {}
+
+        def run():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            loop_holder["loop"] = loop
+            loop.run_until_complete(self.start())
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.stop())
+                loop.close()
+
+        thread = threading.Thread(target=run, name="repro-prover-server",
+                                  daemon=True)
+        thread.start()
+        started.wait()
+        return ServerHandle(self, thread, loop_holder["loop"])
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        session_id = 0
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(sp.HEADER_LEN)
+                except asyncio.IncompleteReadError:
+                    break  # connection closed between frames
+                frame_type, frame_session, length = sp.unpack_header(header)
+                payload = await reader.readexactly(length)
+                if frame_type == sp.T_BYE:
+                    writer.write(sp.pack_frame(sp.T_BYE_ACK, frame_session))
+                    await writer.drain()
+                    break
+                try:
+                    if frame_type == sp.T_HELLO and session_id:
+                        # One session per connection: a second HELLO
+                        # would orphan the first in the registry.
+                        raise ServiceError(
+                            "connection already carries session %d"
+                            % session_id
+                        )
+                    replies = self._dispatch(
+                        frame_type, frame_session, payload
+                    )
+                    if frame_type == sp.T_HELLO and replies:
+                        # remember the session born on this connection so
+                        # a drop cleans it up
+                        _t, born, _p = sp.unpack_header(
+                            replies[0][: sp.HEADER_LEN]
+                        )
+                        session_id = born
+                except (RegistryError, RoutingError, ServiceError,
+                        ValueError, RuntimeError, LookupError) as exc:
+                    replies = [
+                        sp.pack_frame(
+                            sp.T_ERROR,
+                            frame_session,
+                            sp.error_payload(str(exc) or repr(exc)),
+                        )
+                    ]
+                for frame in replies:
+                    writer.write(frame)
+                await writer.drain()
+        except sp.ServiceProtocolError as exc:
+            # Framing damage: tell the peer once, then hang up.
+            try:
+                writer.write(
+                    sp.pack_frame(sp.T_ERROR, 0, sp.error_payload(str(exc)))
+                )
+                await writer.drain()
+            except ConnectionError:
+                pass
+        except ConnectionError:
+            pass
+        finally:
+            if session_id:
+                self.registry.disconnect(session_id)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    # -- frame dispatch ------------------------------------------------------
+
+    def _dispatch(self, frame_type: int, session_id: int,
+                  payload: bytes) -> List[bytes]:
+        field = self.field
+        if frame_type == sp.T_HELLO:
+            p, u, dataset_id = sp.parse_hello(payload)
+            if p != field.p:
+                raise ServiceError(
+                    "field mismatch: service runs Z_%d, client asked Z_%d"
+                    % (field.p, p)
+                )
+            session = self.registry.connect(u, dataset_id)
+            ack = sp.words_payload(
+                field,
+                [session.dataset.n_updates,
+                 session.dataset.sessions_attached],
+            )
+            return [sp.pack_frame(sp.T_HELLO_ACK, session.session_id, ack)]
+
+        session = self.registry.session(session_id)
+        dataset = session.dataset
+
+        if frame_type == sp.T_UPDATES:
+            vector, pairs = sp.parse_updates(field, payload)
+            total = dataset.apply(vector, pairs)
+            return [
+                sp.pack_frame(
+                    sp.T_UPDATES_ACK,
+                    session_id,
+                    sp.words_payload(field, [total]),
+                )
+            ]
+
+        if frame_type == sp.T_REPLAY_REQUEST:
+            words = sp.parse_words(field, payload)
+            if len(words) != 1:
+                raise ServiceError("replay request takes one start index")
+            start = words[0]
+            frames = []
+            cursor = start
+            while cursor < dataset.n_updates:
+                block = dataset.replay_slice(cursor, REPLAY_BLOCK)
+                by_vector = {}
+                for vector, key, delta in block:
+                    by_vector.setdefault(vector, []).append((key, delta))
+                for vector, pairs in sorted(by_vector.items()):
+                    frames.append(
+                        sp.pack_frame(
+                            sp.T_REPLAY_DATA,
+                            session_id,
+                            sp.updates_payload(field, vector, pairs),
+                        )
+                    )
+                cursor += len(block)
+            frames.append(
+                sp.pack_frame(
+                    sp.T_REPLAY_END,
+                    session_id,
+                    sp.words_payload(field, [dataset.n_updates]),
+                )
+            )
+            return frames
+
+        if frame_type == sp.T_QUERY_OPEN:
+            words = sp.parse_words(field, payload)
+            if not words:
+                raise ServiceError("empty query descriptor")
+            batched = bool(words[0])
+            descriptors = []
+            cursor = 1
+            while cursor < len(words):
+                if cursor + 2 > len(words):
+                    raise ServiceError("truncated query descriptor")
+                count = words[cursor + 1]
+                end = cursor + 2 + count
+                if end > len(words):
+                    raise ServiceError("truncated query descriptor")
+                descriptors.append(
+                    QueryDescriptor.from_words(words[cursor:end])
+                )
+                cursor = end
+            if not descriptors:
+                raise ServiceError("query open carried no descriptors")
+            if batched and len(descriptors) < 2:
+                raise ServiceError("a batched unit needs >= 2 descriptors")
+            active = self.registry.open_query(session_id, descriptors,
+                                              batched)
+            return [
+                sp.pack_frame(
+                    sp.T_QUERY_ACK,
+                    session_id,
+                    sp.words_payload(field, [active.ref]),
+                )
+            ]
+
+        if frame_type == sp.T_P_CALL:
+            words = sp.parse_words(field, payload)
+            if len(words) < 2:
+                raise ServiceError("prover call needs (ref, method)")
+            ref, method = words[0], words[1]
+            args = words[2:]
+            active = session.queries.get(ref)
+            if active is None:
+                raise ServiceError("unknown query reference %d" % ref)
+            result = self._prover_call(active, method, args)
+            return [
+                sp.pack_frame(
+                    sp.T_P_REPLY,
+                    session_id,
+                    sp.words_payload(field, result),
+                )
+            ]
+
+        if frame_type == sp.T_QUERY_CLOSE:
+            words = sp.parse_words(field, payload)
+            if len(words) != 1:
+                raise ServiceError("query close takes one reference")
+            session.close_query(words[0])
+            return [sp.pack_frame(sp.T_QUERY_CLOSE_ACK, session_id)]
+
+        if frame_type == sp.T_STATS:
+            stats = self.registry.stats()
+            return [
+                sp.pack_frame(
+                    sp.T_STATS_REPLY,
+                    session_id,
+                    sp.words_payload(
+                        field,
+                        [
+                            stats["datasets"],
+                            stats["sessions"],
+                            stats["updates"],
+                            stats["open_queries"],
+                            stats["queries_served"],
+                        ],
+                    ),
+                )
+            ]
+
+        raise ServiceError("frame type 0x%02x is not a request" % frame_type)
+
+    # -- prover method dispatch ----------------------------------------------
+
+    def _prover_call(self, active, method: int, args: List[int]) -> List[int]:
+        """Invoke one prover-side protocol step; returns reply words."""
+        prover = active.prover
+        if method == sp.M_BEGIN_PROOF:
+            prover.begin_proof()
+            return []
+        if method == sp.M_ROUND_MESSAGE:
+            message = prover.round_message()
+            if message and isinstance(message[0], NodeRecord):
+                return _flatten_records(message)
+            return list(message)
+        if method == sp.M_RECEIVE_CHALLENGE:
+            if len(args) != 1:
+                raise ServiceError("receive_challenge takes one word")
+            prover.receive_challenge(args[0])
+            return []
+        if method == sp.M_RECEIVE_QUERY:
+            if len(args) != 2:
+                raise ServiceError("receive_query takes (lo, hi)")
+            prover.receive_query(args[0], args[1])
+            return []
+        if method == sp.M_ANSWER_ENTRIES:
+            return _flatten_pairs(prover.answer_entries())
+        if method == sp.M_LEVEL0_SIBLINGS:
+            return _flatten_pairs(prover.level0_siblings())
+        if method == sp.M_FOLD_CHALLENGE:
+            if len(args) != 1:
+                raise ServiceError("fold challenge takes one word")
+            return _flatten_pairs(prover.receive_challenge(args[0]))
+        if method == sp.M_CLAIM:
+            if len(args) != 1:
+                raise ServiceError("claim takes one word")
+            kind = active.kind
+            if kind == KIND_PREDECESSOR:
+                flag, key = prover.claim_predecessor(args[0])
+            elif kind == KIND_SUCCESSOR:
+                flag, key = prover.claim_successor(args[0])
+            elif kind == KIND_K_LARGEST:
+                flag, key = prover.claim_kth_largest(args[0])
+            else:
+                raise ServiceError(
+                    "query kind %d makes no claims" % kind
+                )
+            return [flag, key]
+        if method == sp.M_RECEIVE_RANDOMNESS:
+            if len(args) != 2:
+                raise ServiceError("receive_randomness takes (r, s)")
+            prover.receive_randomness(args[0], args[1])
+            return []
+        if method == sp.M_RECEIVE_QUERIES:
+            if len(args) % 2 != 0:
+                raise ServiceError("batched queries come as (lo, hi) pairs")
+            queries = [
+                (args[t], args[t + 1]) for t in range(0, len(args), 2)
+            ]
+            prover.receive_queries(queries)
+            return []
+        if method == sp.M_ROUND_MESSAGES:
+            out: List[int] = []
+            for message in prover.round_messages():
+                out.extend(message)
+            return out
+        raise ServiceError("unknown prover method 0x%02x" % method)
+
+
+class ServerHandle:
+    """A running threaded server: address + synchronous stop."""
+
+    def __init__(self, server: ProverServer, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop):
+        self.server = server
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def address(self):
+        return (self.server.host, self.server.port)
+
+    def stop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)

@@ -224,6 +224,138 @@ def test_f0_protocol_identical_across_backends(monkeypatch):
     assert scalar_value == true_f0
 
 
+# -- heavy hitters, sparse and tree-hash ingest (PR 3) ------------------------
+
+
+def run_heavy_hitters_with(backend_name, low_space=False):
+    from repro.core.heavy_hitters import (
+        HeavyHittersProver,
+        HeavyHittersVerifier,
+        run_heavy_hitters,
+    )
+
+    stream = zipf_stream(256, 3000, rng=random.Random(61))
+    be = get_backend(F, backend_name)
+    verifier = HeavyHittersVerifier(F, 256, 0.02, rng=random.Random(67),
+                                    backend=be)
+    prover = HeavyHittersProver(F, 256, 0.02, backend=be)
+    for i, delta in stream.updates():
+        verifier.process(i, delta)
+        prover.process(i, delta)
+    ch = Channel()
+    result = run_heavy_hitters(prover, verifier, ch, low_space=low_space)
+    assert result.accepted
+    return result, ch.transcript
+
+
+@needs_numpy
+@pytest.mark.parametrize("low_space", [False, True])
+def test_heavy_hitters_transcript_identical_across_backends(low_space):
+    scalar_result, scalar_tx = run_heavy_hitters_with("scalar", low_space)
+    vector_result, vector_tx = run_heavy_hitters_with("vectorized", low_space)
+    assert scalar_result.value == vector_result.value
+    assert scalar_tx.messages == vector_tx.messages
+
+
+@needs_numpy
+def test_heavy_hitters_batched_ingest_matches_loop():
+    from repro.core.heavy_hitters import HeavyHittersVerifier
+
+    stream = zipf_stream(300, 2000, rng=random.Random(71))
+    updates = list(stream.updates())
+    point_rng = random.Random(73)
+    r = F.rand_vector(point_rng, 9)
+    s = F.rand_vector(point_rng, 9)
+    loop = HeavyHittersVerifier(F, 300, 0.05, r=r, s=s,
+                                backend=ScalarBackend(F))
+    batched = HeavyHittersVerifier(F, 300, 0.05, r=r, s=s)
+    loop.process_stream(updates)
+    batched.process_stream_batched(updates, block=97)
+    assert batched.root == loop.root
+    assert batched.n == loop.n
+    with pytest.raises(ValueError):
+        batched.process_stream_batched([(300, 1)])
+    with pytest.raises(ValueError):
+        batched.process_stream_batched([], block=0)
+
+
+@needs_numpy
+@pytest.mark.parametrize("normalized", [False, True])
+def test_tree_hash_batched_ingest_matches_loop(normalized):
+    updates = mixed_updates(200, 1500, seed=79)
+    point = F.rand_vector(random.Random(83), 8)
+    loop = TreeHashVerifier(F, 200, point=point, normalized=normalized,
+                            backend=ScalarBackend(F))
+    batched = TreeHashVerifier(F, 200, point=point, normalized=normalized)
+    loop.process_stream(updates)
+    batched.process_stream_batched(updates, block=64)
+    assert batched.root == loop.root
+    with pytest.raises(ValueError):
+        batched.process_stream_batched([(205, 1)])
+
+
+def run_sparse_f2_with(backend_name, monkeypatch=None):
+    from repro.core.sparse import SparseF2Prover
+
+    if monkeypatch is not None:
+        # Force the scatter path even below the size crossover.
+        monkeypatch.setattr(SparseF2Prover, "VECTOR_MIN_KEYS", 0)
+    u = 1 << 12
+    updates = mixed_updates(u, 400, seed=87)
+    point = F.rand_vector(random.Random(89), 12)
+    verifier = F2Verifier(F, u, point=point)
+    prover = SparseF2Prover(F, u, backend=get_backend(F, backend_name))
+    for i, delta in updates:
+        verifier.process(i, delta)
+        prover.process(i, delta)
+    ch = Channel()
+    result = run_f2(prover, verifier, ch)
+    assert result.accepted
+    return result, ch.transcript
+
+
+@needs_numpy
+def test_sparse_f2_transcript_identical_across_backends(monkeypatch):
+    scalar_result, scalar_tx = run_sparse_f2_with("scalar")
+    vector_result, vector_tx = run_sparse_f2_with("vectorized", monkeypatch)
+    assert scalar_result.value == vector_result.value
+    assert scalar_tx.messages == vector_tx.messages
+
+
+def run_sparse_subvector_with(backend_name, normalized, monkeypatch=None):
+    from repro.core.sparse import SparseF2Prover, SparseSubVectorProver
+
+    if monkeypatch is not None:
+        monkeypatch.setattr(SparseF2Prover, "VECTOR_MIN_KEYS", 0)
+    u = 1 << 11
+    rng = random.Random(91)
+    updates = [(rng.randrange(u), rng.randrange(1, 50)) for _ in range(120)]
+    point = F.rand_vector(random.Random(93), 11)
+    verifier = TreeHashVerifier(F, u, point=point, normalized=normalized)
+    prover = SparseSubVectorProver(F, u, normalized=normalized,
+                                   backend=get_backend(F, backend_name))
+    for i, delta in updates:
+        verifier.process(i, delta)
+        prover.process(i, delta)
+    ch = Channel()
+    result = run_subvector(prover, verifier, 100, 1800, ch)
+    assert result.accepted
+    return result, ch.transcript
+
+
+@needs_numpy
+@pytest.mark.parametrize("normalized", [False, True])
+def test_sparse_subvector_transcript_identical_across_backends(
+    normalized, monkeypatch
+):
+    scalar_result, scalar_tx = run_sparse_subvector_with("scalar", normalized)
+    vector_result, vector_tx = run_sparse_subvector_with(
+        "vectorized", normalized, monkeypatch
+    )
+    assert scalar_result.value.entries == vector_result.value.entries
+    assert scalar_tx.messages == vector_tx.messages
+
+
 # -- sum-check point-buffer refactor ----------------------------------------
 
 

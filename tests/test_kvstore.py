@@ -93,3 +93,85 @@ def test_store_largest_values_ranked():
     store.put_many([(1, 5), (2, 9), (3, 9), (4, 1)])
     assert store.largest_values(2) == [(2, 9), (3, 9)]
     assert store.largest_values(10) == [(2, 9), (3, 9), (1, 5), (4, 1)]
+
+
+# -- edge cases (service-demo hardening) --------------------------------------
+
+
+def test_store_duplicate_key_rejected_and_state_unchanged():
+    store = OutsourcedKVStore(16)
+    store.put(3, 7)
+    with pytest.raises(DuplicateKeyError):
+        store.put(3, 9)
+    # The failed put left no trace: value, stream and length unchanged.
+    assert store.get(3) == 7
+    assert len(store) == 1
+    assert list(store.updates()) == [(3, 8)]
+
+
+def test_store_duplicate_in_put_many_keeps_prefix():
+    store = OutsourcedKVStore(16)
+    with pytest.raises(DuplicateKeyError):
+        store.put_many([(1, 5), (2, 6), (1, 7)])
+    assert store.get(1) == 5
+    assert store.get(2) == 6
+    assert len(store) == 2
+
+
+def test_store_empty_range_scan():
+    store = OutsourcedKVStore(64)
+    assert store.range_scan(0, 63) == []
+    assert store.range_value_sum(0, 63) == 0
+    store.put(10, 3)
+    # A populated store still answers empty for an untouched range.
+    assert store.range_scan(20, 40) == []
+    assert store.range_value_sum(20, 40) == 0
+    # Degenerate single-key ranges.
+    assert store.range_scan(10, 10) == [(10, 3)]
+    assert store.range_scan(11, 11) == []
+
+
+def test_store_predecessor_successor_empty_store():
+    store = OutsourcedKVStore(32)
+    assert store.predecessor_key(31) is None
+    assert store.successor_key(0) is None
+
+
+def test_store_predecessor_successor_domain_boundaries():
+    u = 32
+    store = OutsourcedKVStore(u)
+    store.put(0, 5)
+    store.put(u - 1, 6)
+    # Queries at the extreme keys of the domain.
+    assert store.predecessor_key(0) == 0
+    assert store.successor_key(u - 1) == u - 1
+    # Just inside the gap between the two stored keys.
+    assert store.predecessor_key(u - 2) == 0
+    assert store.successor_key(1) == u - 1
+    # The boundary keys answer for the whole domain.
+    assert store.predecessor_key(u - 1) == u - 1
+    assert store.successor_key(0) == 0
+
+
+def test_store_boundary_keys_and_values():
+    u = 16
+    store = OutsourcedKVStore(u)
+    # Extreme key/value combinations allowed by the universe.
+    assert store.put(0, 0) == (0, 1)
+    assert store.put(u - 1, u - 1) == (u - 1, u)
+    assert store.get(0) == 0
+    assert store.get(u - 1) == u - 1
+    with pytest.raises(UniverseError):
+        store.put(u, 0)
+    with pytest.raises(UniverseError):
+        store.put(1, u)
+    with pytest.raises(UniverseError):
+        store.put(-1, 0)
+
+
+def test_store_largest_values_ties_break_by_key():
+    store = OutsourcedKVStore(16)
+    store.put_many([(4, 9), (2, 9), (7, 1)])
+    assert store.largest_values(2) == [(2, 9), (4, 9)]
+    assert store.largest_values(10) == [(2, 9), (4, 9), (7, 1)]
+    assert OutsourcedKVStore(16).largest_values(3) == []

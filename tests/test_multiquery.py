@@ -8,7 +8,11 @@ import pytest
 
 from repro.comm.channel import Channel, flip_word
 from repro.core.f2 import F2Verifier
-from repro.core.multiquery import IndependentCopies, run_batch_range_sum
+from repro.core.multiquery import (
+    BatchRangeSumProver,
+    IndependentCopies,
+    run_batch_range_sum,
+)
 from repro.core.range_sum import RangeSumProver, RangeSumVerifier
 from repro.field.modular import DEFAULT_FIELD
 from repro.streams.generators import uniform_frequency_stream
@@ -36,6 +40,41 @@ def test_batch_all_queries_verified():
     for (lo, hi), result in zip(queries, results):
         assert result.accepted
         assert result.value == stream.range_sum(lo, hi) % F.p
+
+
+def test_batch_engine_prover_matches_wrapped_run():
+    """Driving a streamed BatchRangeSumProver directly produces the same
+    transcript as wrapping a RangeSumProver — the seam the service's
+    remote proxy stands behind."""
+    stream = uniform_frequency_stream(64, max_frequency=9,
+                                      rng=random.Random(4))
+    queries = [(0, 10), (5, 40), (63, 63)]
+    prover, verifier = batch_session(stream, seed=9)
+    ch_wrapped = Channel()
+    wrapped = run_batch_range_sum(prover, verifier, queries, ch_wrapped)
+
+    engine = BatchRangeSumProver(F, stream.u)
+    engine.process_stream(stream.updates())
+    verifier2 = RangeSumVerifier(F, stream.u, rng=random.Random(9))
+    verifier2.process_stream(stream.updates())
+    ch_engine = Channel()
+    direct = run_batch_range_sum(engine, verifier2, queries, ch_engine)
+
+    assert ch_wrapped.transcript.messages == ch_engine.transcript.messages
+    assert [r.accepted for r in wrapped] == [r.accepted for r in direct]
+    assert [r.value for r in wrapped] == [r.value for r in direct]
+
+
+def test_batch_engine_validates_usage():
+    engine = BatchRangeSumProver(F, 64)
+    with pytest.raises(RuntimeError):
+        engine.round_messages()
+    with pytest.raises(RuntimeError):
+        engine.receive_challenge(3)
+    with pytest.raises(ValueError):
+        engine.receive_queries([(5, 90)])
+    with pytest.raises(ValueError):
+        engine.process(64, 1)
 
 
 def test_batch_shares_challenges():

@@ -1,0 +1,706 @@
+"""Tests for repro.service — the prover-as-a-service subsystem.
+
+Covers the frame protocol, the query router/planner, the session
+registry, the full client/server lifecycle over real sockets (connect →
+stream → query → verify → reject cheating prover), the worker-pool
+execution mode, and the load generator.  The end-to-end demo test at the
+bottom is the acceptance scenario: >= 10^5 OutsourcedKVStore updates
+streamed over the wire, >= 4 query types verified through the
+QueryRouter, with per-query channel/frame costs checked against the
+paper's asymptotic bounds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.cheating_provers import (
+    AdaptiveF2Cheater,
+    ConcealingHeavyHittersProver,
+    ModifiedStreamF2Prover,
+    OmittingSubVectorProver,
+)
+from repro.comm.channel import Channel, flip_word
+from repro.core.base import pow2_dimension
+from repro.core.f2 import F2Verifier, run_f2
+from repro.distributed.sharded import DistributedF2Prover
+from repro.field.modular import DEFAULT_FIELD as F
+from repro.field.modular import PrimeField
+from repro.field.vectorized import HAVE_NUMPY
+from repro.service import protocol as sp
+from repro.service import (
+    PooledDistributedF2Prover,
+    ProverServer,
+    QueryDescriptor,
+    QueryRouter,
+    RoutingError,
+    ServiceClient,
+    ServiceClientError,
+    f2,
+    fk,
+    heavy_hitters,
+    inner_product,
+    k_largest,
+    point_lookup,
+    predecessor,
+    range_scan,
+    range_sum,
+    run_load,
+    successor,
+)
+from repro.service.registry import Dataset, RegistryError, SessionRegistry
+from repro.service.router import KIND_RANGE_SUM, PlanUnit
+from repro.streams.generators import key_value_pairs, uniform_frequency_stream
+from repro.streams.kvstore import OutsourcedKVStore
+
+
+# -- shared server fixture -----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = ProverServer(F)
+    handle = srv.serve_in_thread()
+    yield handle
+    handle.stop()
+
+
+def connect(server, u, dataset_id, seed=0, **kwargs):
+    host, port = server.address
+    return ServiceClient(host, port, F, u, dataset_id=dataset_id,
+                         rng=random.Random(seed), **kwargs)
+
+
+_DATASET_COUNTER = iter(range(1000, 10_000))
+
+
+def fresh_dataset_id():
+    return next(_DATASET_COUNTER)
+
+
+# -- frame protocol ------------------------------------------------------------
+
+
+def test_frame_roundtrip():
+    frame = sp.pack_frame(sp.T_UPDATES, 42, b"abc")
+    frame_type, session, length = sp.unpack_header(frame[: sp.HEADER_LEN])
+    assert (frame_type, session, length) == (sp.T_UPDATES, 42, 3)
+    assert frame[sp.HEADER_LEN :] == b"abc"
+
+
+def test_frame_header_validation():
+    good = sp.pack_frame(sp.T_HELLO, 0, b"")[: sp.HEADER_LEN]
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.unpack_header(good[:-1])
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.unpack_header(b"XX" + good[2:])
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.unpack_header(good[:2] + bytes([99]) + good[3:])
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.unpack_header(good[:3] + bytes([0xEE]) + good[4:])
+    huge = bytearray(good)
+    huge[8:12] = (sp.MAX_PAYLOAD + 1).to_bytes(4, "big")
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.unpack_header(bytes(huge))
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.pack_frame(0xEE, 0, b"")
+
+
+def test_hello_payload_roundtrip():
+    payload = sp.hello_payload(F, 1 << 20, 7)
+    assert sp.parse_hello(payload) == (F.p, 1 << 20, 7)
+    big = PrimeField((1 << 127) - 1, check_prime=False)
+    assert sp.parse_hello(sp.hello_payload(big, 5, 0)) == (big.p, 5, 0)
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.parse_hello(payload[:-1])
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.parse_hello(b"")
+
+
+def test_updates_payload_roundtrip_signed():
+    pairs = [(3, 5), (7, -2), (0, -(10**9))]
+    vector, decoded = sp.parse_updates(F, sp.updates_payload(F, 0, pairs))
+    assert vector == 0 and decoded == pairs
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.parse_updates(F, sp.words_payload(F, [0, 1]))  # dangling key
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.parse_updates(F, sp.words_payload(F, [9, 1, 1]))  # bad vector
+
+
+def test_descriptor_words_roundtrip():
+    for q in [point_lookup(5), range_scan(1, 9), range_sum(0, 3), f2(),
+              f2(workers=4), fk(3), inner_product(), heavy_hitters(1, 8),
+              k_largest(2), predecessor(7), successor(7)]:
+        assert QueryDescriptor.from_words(q.to_words()) == q
+    with pytest.raises(RoutingError):
+        QueryDescriptor.from_words([1, 5, 2])
+    with pytest.raises(RoutingError):
+        QueryDescriptor(999, ())
+    with pytest.raises(RoutingError):
+        QueryDescriptor(KIND_RANGE_SUM, (1,))
+
+
+# -- router / planner ----------------------------------------------------------
+
+
+def test_plan_batches_multiple_range_sums():
+    queries = [range_sum(0, 5), f2(), range_sum(2, 9), point_lookup(1)]
+    units = QueryRouter.plan(queries)
+    assert [u.batched for u in units] == [True, False, False]
+    assert units[0].descriptors == (range_sum(0, 5), range_sum(2, 9))
+    # A lone range-sum stays single-shot.
+    units = QueryRouter.plan([range_sum(0, 5), f2()])
+    assert [u.batched for u in units] == [False, False]
+
+
+def test_pool_keys_group_the_tree_family():
+    tree_kinds = [point_lookup(1), range_scan(0, 3), k_largest(2),
+                  predecessor(5), successor(5)]
+    keys = {QueryRouter.verifier_pool_key(q) for q in tree_kinds}
+    assert keys == {("tree",)}
+    assert QueryRouter.verifier_pool_key(fk(3)) == ("fk", 3)
+    assert QueryRouter.verifier_pool_key(heavy_hitters(1, 8)) == \
+        ("heavy-hitters", 1, 8)
+
+
+def test_router_runs_every_kind_in_process():
+    """The router's factories and drivers work without any sockets."""
+    u = 256
+    store = OutsourcedKVStore(u)
+    pairs = key_value_pairs(u, 40, rng=random.Random(3))
+    store.put_many(pairs)
+    updates = list(store.updates())
+    freq = [0] * (1 << pow2_dimension(u))
+    for i, delta in updates:
+        freq[i] += delta
+    rng = random.Random(9)
+    some_key = pairs[0][0]
+    queries = [point_lookup(some_key), range_scan(0, u - 1),
+               range_sum(0, u // 2), f2(), fk(3), heavy_hitters(1, 4),
+               k_largest(1), predecessor(u - 1), successor(0),
+               inner_product()]
+    for q in queries:
+        unit = QueryRouter.plan([q])[0]
+        verifier = QueryRouter.make_verifier(
+            unit.pool_key, F, u, random.Random(rng.getrandbits(64))
+        )
+        if unit.pool_key[0] == "inner-product":
+            for i, delta in updates:
+                verifier.process_a(i, delta)
+                verifier.process_b(i, delta)
+        else:
+            verifier.process_stream(updates)
+        prover = QueryRouter.make_prover(unit, F, u, freq, freq)
+        result = QueryRouter.run(unit, prover, verifier)
+        assert result.accepted, (q.name, result.reason)
+
+
+def test_router_validates_phi():
+    with pytest.raises(RoutingError):
+        QueryRouter.make_verifier(("heavy-hitters", 0, 4), F, 16,
+                                  random.Random(0))
+    with pytest.raises(RoutingError):
+        QueryRouter.make_verifier(("heavy-hitters", 5, 4), F, 16,
+                                  random.Random(0))
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registry_shares_datasets_across_sessions():
+    registry = SessionRegistry(F)
+    s1 = registry.connect(64, 1)
+    s2 = registry.connect(64, 1)
+    s3 = registry.connect(128, 2)
+    assert s1.dataset is s2.dataset
+    assert s1.dataset is not s3.dataset
+    assert s1.dataset.sessions_attached == 2
+    with pytest.raises(RegistryError):
+        registry.connect(32, 1)  # universe mismatch on dataset 1
+    registry.disconnect(s2.session_id)
+    assert s1.dataset.sessions_attached == 1
+    with pytest.raises(RegistryError):
+        registry.session(s2.session_id)
+
+
+def test_registry_dataset_apply_and_replay():
+    dataset = Dataset(F, 16, 0)
+    dataset.apply(0, [(3, 2), (5, -1)])
+    dataset.apply(1, [(1, 4)])
+    assert dataset.freq_a[3] == 2 and dataset.freq_a[5] == -1
+    assert dataset.freq_b[1] == 4
+    assert dataset.n_updates == 3
+    assert dataset.replay_slice(1, 10) == [(0, 5, -1), (1, 1, 4)]
+    with pytest.raises(RegistryError):
+        dataset.apply(0, [(16, 1)])
+    # The failed batch applied its valid prefix and logged it.
+    with pytest.raises(RegistryError):
+        dataset.replay_slice(-1, 5)
+
+
+def test_registry_query_lifecycle_and_stats():
+    registry = SessionRegistry(F)
+    session = registry.connect(64, 5)
+    unit_desc = [range_sum(0, 9)]
+    active = registry.open_query(session.session_id, unit_desc, False)
+    assert registry.stats()["open_queries"] == 1
+    session.close_query(active.ref)
+    assert registry.stats()["open_queries"] == 0
+    assert registry.stats()["queries_served"] == 1
+    with pytest.raises(RegistryError):
+        session.close_query(active.ref)
+
+
+# -- client/server lifecycle ---------------------------------------------------
+
+
+def test_session_lifecycle_connect_stream_query_verify(server):
+    u = 512
+    store = OutsourcedKVStore(u)
+    pairs = key_value_pairs(u, 80, rng=random.Random(11))
+    store.put_many(pairs)
+    client = connect(server, u, fresh_dataset_id(), seed=21)
+    with client:
+        client.provision(("tree",), 3)
+        client.provision(("range-sum",), 1)
+        client.provision(("f2",), 1)
+        client.send_updates(list(store.updates()))
+
+        some_key, some_val = pairs[0]
+        outcomes = client.query(
+            point_lookup(some_key),
+            range_sum(0, u - 1),
+            f2(),
+            predecessor(u - 1),
+            successor(0),
+        )
+        for outcome in outcomes:
+            assert outcome.result.accepted, (
+                outcome.descriptor.name, outcome.result.reason
+            )
+        # DICTIONARY decoding happens client-side (+1 shift).
+        assert outcomes[0].result.value == some_val + 1
+        assert outcomes[1].result.value == store.range_value_sum(0, u - 1) \
+            + len(store)  # +1 per present key from the encoding
+        # Each single-shot query consumed one copy from its pool.
+        assert client.pool_remaining(("tree",)) == 0
+        assert client.pool_remaining(("range-sum",)) == 0
+        # The server counted all five plan units (global counter).
+        assert client.stats()["queries_served"] >= 5
+
+
+def test_field_mismatch_refused(server):
+    host, port = server.address
+    small = PrimeField((1 << 31) - 1)
+    with pytest.raises(ServiceClientError, match="field mismatch"):
+        ServiceClient(host, port, small, 64, dataset_id=fresh_dataset_id())
+
+
+def test_pool_exhaustion_and_missing_pool(server):
+    client = connect(server, 64, fresh_dataset_id(), seed=5)
+    with client:
+        client.provision(("f2",), 1)
+        client.send_updates([(1, 2), (5, 3)])
+        assert client.query(f2())[0].result.accepted
+        with pytest.raises(LookupError):
+            client.query(f2())
+        with pytest.raises(RoutingError):
+            client.query(fk(3))  # never provisioned
+        with pytest.raises(ValueError):
+            client.provision(("fk", 3), 1)  # too late: stream started
+
+
+def test_provision_validation(server):
+    client = connect(server, 64, fresh_dataset_id(), seed=6)
+    with client:
+        client.provision(("tree",), 2)
+        with pytest.raises(ValueError):
+            client.provision(("tree",), 1)  # duplicate pool
+        with pytest.raises(ValueError):
+            client.provision(("f2",), 0)  # zero copies
+
+
+def test_server_rejects_bad_requests(server):
+    client = connect(server, 64, fresh_dataset_id(), seed=7)
+    with client:
+        client.provision(("f2",), 1)
+        # Updates outside the universe are refused client-side before
+        # any pool or frame sees them...
+        with pytest.raises(ValueError, match="outside universe"):
+            client.send_updates([(64, 1)])
+        # ...and the server validates independently: a raw frame with a
+        # bad key comes back as an error frame, not a crash.
+        with pytest.raises(ServiceClientError, match="outside universe"):
+            client._request(
+                sp.T_UPDATES, client.session_id,
+                sp.updates_payload(F, 0, [(64, 1)]),
+                expect=sp.T_UPDATES_ACK,
+            )
+        # An unknown query reference is an error frame, not a crash.
+        with pytest.raises(ServiceClientError, match="unknown query"):
+            client._prover_call(999, sp.M_BEGIN_PROOF, [])
+        # The session survives all of the above and still verifies.
+        client.send_updates([(3, 4)])
+        assert client.query(f2())[0].result.accepted
+
+
+def test_batched_range_sums_share_one_verifier_copy(server):
+    u = 256
+    client = connect(server, u, fresh_dataset_id(), seed=8)
+    with client:
+        client.provision(("range-sum",), 1)
+        stream = uniform_frequency_stream(u, max_frequency=20,
+                                          rng=random.Random(13))
+        updates = list(stream.updates())
+        client.send_updates(updates)
+        outcomes = client.query(
+            range_sum(0, 63), range_sum(64, 127), range_sum(0, 255)
+        )
+        for outcome, (lo, hi) in zip(outcomes, [(0, 63), (64, 127),
+                                                (0, 255)]):
+            assert outcome.result.accepted
+            assert outcome.result.value == stream.range_sum(lo, hi) % F.p
+        # One batched unit: a single copy served all three queries...
+        assert client.pool_remaining(("range-sum",)) == 0
+        # ...and the batch shared its wire frames across the queries.
+        assert outcomes[0].cost.frames == outcomes[1].cost.frames
+
+
+def test_server_refuses_resource_abuse(server):
+    host, port = server.address
+    # A universe above the service cap is refused in the handshake —
+    # before any dense vector is allocated.
+    with pytest.raises(ServiceClientError, match="limit"):
+        ServiceClient(host, port, F, 1 << 25,
+                      dataset_id=fresh_dataset_id())
+    # The wire protocol itself caps u below the dyadic-padding bound.
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.hello_payload(F, (1 << 60) + 1, 0)
+    oversized = (bytes([8]) + F.p.to_bytes(8, "big")
+                 + (1 << 61).to_bytes(8, "big") + (0).to_bytes(8, "big"))
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.parse_hello(oversized)
+
+
+def test_second_hello_on_one_connection_refused(server):
+    client = connect(server, 64, fresh_dataset_id(), seed=83)
+    with client:
+        with pytest.raises(ServiceClientError, match="already carries"):
+            client._request(
+                sp.T_HELLO, 0,
+                sp.hello_payload(F, 64, fresh_dataset_id()),
+                expect=sp.T_HELLO_ACK,
+            )
+        # The original session is unharmed.
+        client.provision(("f2",), 1)
+        client.send_updates([(1, 1)])
+        assert client.query(f2())[0].result.accepted
+
+
+def test_replay_after_streaming_refused(server):
+    client = connect(server, 64, fresh_dataset_id(), seed=85)
+    with client:
+        client.provision(("f2",), 1)
+        client.send_updates([(2, 3)])
+        with pytest.raises(ValueError, match="double-count"):
+            client.replay_missed()
+
+
+def test_late_join_replay_catches_up(server):
+    u = 128
+    dataset = fresh_dataset_id()
+    writer = connect(server, u, dataset, seed=31)
+    with writer:
+        writer.provision(("f2",), 1)
+        writer.send_updates([(i % u, 1) for i in range(300)])
+        first = writer.query(f2())[0]
+        assert first.result.accepted
+
+        reader = connect(server, u, dataset, seed=32)
+        with reader:
+            assert reader.missed_updates == 300
+            reader.provision(("f2",), 1)
+            assert reader.replay_missed() == 300
+            second = reader.query(f2())[0]
+            assert second.result.accepted
+            assert second.result.value == first.result.value
+
+
+# -- cheating provers over the wire -------------------------------------------
+
+
+def run_against_cheating_server(prover_wrapper, provision, descriptors,
+                                updates, u=256, tamper=None, seed=41):
+    srv = ProverServer(F, prover_wrapper=prover_wrapper)
+    handle = srv.serve_in_thread()
+    try:
+        host, port = handle.address
+        client = ServiceClient(host, port, F, u, dataset_id=1,
+                               rng=random.Random(seed), tamper=tamper)
+        with client:
+            for key, copies in provision.items():
+                client.provision(key, copies)
+            client.send_updates(updates)
+            return client.query(*descriptors)
+    finally:
+        handle.stop()
+
+
+def heavy_stream(u):
+    updates = [(i, 1) for i in range(40)]
+    updates += [(7, 1)] * 60  # key 7 is genuinely heavy
+    return updates
+
+
+def test_cheating_f2_provers_rejected_over_the_wire():
+    updates = [(i % 16, 1) for i in range(64)]
+
+    def modified_stream(unit, prover, dataset):
+        if unit.descriptors[0].kind != f2().kind:
+            return None
+        cheat = ModifiedStreamF2Prover(F, dataset.u, corrupt_key=3)
+        cheat.freq = list(prover.freq)
+        return cheat
+
+    def adaptive(unit, prover, dataset):
+        if unit.descriptors[0].kind != f2().kind:
+            return None
+        cheat = AdaptiveF2Cheater(F, dataset.u, offset=5)
+        cheat.freq = list(prover.freq)
+        return cheat
+
+    for wrapper in (modified_stream, adaptive):
+        outcome = run_against_cheating_server(
+            wrapper, {("f2",): 1}, [f2()], updates
+        )[0]
+        assert not outcome.result.accepted
+        assert outcome.result.reason
+
+
+def test_omitting_subvector_prover_rejected_over_the_wire():
+    updates = [(3, 1), (9, 2), (40, 5)]
+
+    def omitting(unit, prover, dataset):
+        if unit.descriptors[0].kind != range_scan(0, 0).kind:
+            return None
+        cheat = OmittingSubVectorProver(F, dataset.u, omit_key=9)
+        cheat.freq = list(prover.freq)
+        return cheat
+
+    outcome = run_against_cheating_server(
+        omitting, {("tree",): 1}, [range_scan(0, 63)], updates
+    )[0]
+    assert not outcome.result.accepted
+    assert "root" in outcome.result.reason
+
+
+def test_concealing_heavy_hitters_prover_rejected_over_the_wire():
+    def concealing(unit, prover, dataset):
+        if unit.descriptors[0].kind != heavy_hitters(1, 4).kind:
+            return None
+        cheat = ConcealingHeavyHittersProver(F, dataset.u, 0.25,
+                                             conceal_key=7)
+        cheat.freq = list(prover.freq)
+        return cheat
+
+    outcome = run_against_cheating_server(
+        concealing, {("heavy-hitters", 1, 4): 1}, [heavy_hitters(1, 4)],
+        heavy_stream(256),
+    )[0]
+    assert not outcome.result.accepted
+
+
+def test_tampered_network_rejected_over_the_wire(server):
+    """A corrupted frame payload (channel tamper) is caught like any
+    dishonest prover — the wire adds no trust."""
+    client = connect(server, 64, fresh_dataset_id(), seed=55)
+    client.tamper = flip_word(round_index=1)
+    with client:
+        client.provision(("f2",), 1)
+        client.send_updates([(i % 8, 2) for i in range(32)])
+        outcome = client.query(f2())[0]
+        assert not outcome.result.accepted
+        assert "round 1" in outcome.result.reason
+
+
+# -- worker-pool execution mode ------------------------------------------------
+
+
+def test_pooled_prover_transcripts_byte_identical():
+    u = 1 << 10
+    stream = uniform_frequency_stream(u, max_frequency=50,
+                                      rng=random.Random(17))
+    updates = list(stream.updates())
+    point = F.rand_vector(random.Random(19), 10)
+
+    sequential = DistributedF2Prover(F, u, num_workers=8)
+    sequential.process_stream(updates)
+    v1 = F2Verifier(F, u, point=point)
+    v1.process_stream(updates)
+    ch1 = Channel()
+    r1 = run_f2(sequential, v1, ch1)
+
+    with PooledDistributedF2Prover(F, u, num_workers=8) as pooled:
+        pooled.process_stream(updates)
+        v2 = F2Verifier(F, u, point=point)
+        v2.process_stream(updates)
+        ch2 = Channel()
+        r2 = run_f2(pooled, v2, ch2)
+
+    assert r1.accepted and r2.accepted
+    assert r1.value == r2.value == stream.self_join_size()
+    assert ch1.transcript.messages == ch2.transcript.messages
+    assert pooled.max_worker_keys == sequential.max_worker_keys
+
+
+def test_pooled_prover_rejects_bad_worker_counts():
+    with pytest.raises(ValueError):
+        PooledDistributedF2Prover(F, 64, num_workers=3)
+    with pytest.raises(ValueError):
+        PooledDistributedF2Prover(F, 4, num_workers=4)
+
+
+def test_service_f2_worker_pool_mode(server):
+    u = 512
+    client = connect(server, u, fresh_dataset_id(), seed=61)
+    with client:
+        client.provision(("f2",), 2)
+        stream = uniform_frequency_stream(u, max_frequency=30,
+                                          rng=random.Random(23))
+        client.send_updates(list(stream.updates()))
+        plain = client.query(f2())[0]
+        pooled = client.query(f2(workers=4))[0]
+        assert plain.result.accepted and pooled.result.accepted
+        assert plain.result.value == pooled.result.value
+        # Identical protocol: same transcript words on the wire.
+        assert plain.cost.transcript_words == pooled.cost.transcript_words
+
+
+# -- load generator ------------------------------------------------------------
+
+
+def test_load_generator_all_sessions_verify(server):
+    host, port = server.address
+    report = run_load(host, port, F, 1 << 9, sessions=3,
+                      updates_per_session=120, concurrency=3, seed=71,
+                      dataset_base=400)
+    assert not report.failures, report.failures
+    assert report.queries_run == 3 * 3
+    assert report.queries_verified == report.queries_run
+    assert report.updates_per_second > 0
+    record = report.as_record()
+    assert record["sessions"] == 3
+
+
+def test_load_generator_shared_dataset(server):
+    host, port = server.address
+    report = run_load(host, port, F, 1 << 8, sessions=3,
+                      updates_per_session=100, concurrency=1, seed=73,
+                      shared_dataset=True, dataset_base=500)
+    assert not report.failures, report.failures
+    assert report.queries_verified == report.queries_run
+
+
+# -- end-to-end acceptance demo ------------------------------------------------
+
+
+def test_end_to_end_kvstore_demo_over_the_wire(server):
+    """The acceptance scenario.
+
+    A client streams >= 10^5 OutsourcedKVStore updates over the wire
+    (vectorized builds; the no-numpy leg runs a reduced-size variant of
+    the same flow), verifies six query types through the QueryRouter,
+    checks every per-query Channel/frame cost against the paper's
+    asymptotic bounds, and sees a cheating prover rejected.
+    """
+    if HAVE_NUMPY:
+        u, n_pairs = 1 << 18, 100_000
+    else:
+        u, n_pairs = 1 << 12, 1_500
+    d = pow2_dimension(u)
+    store = OutsourcedKVStore(u)
+    rng = random.Random(97)
+    pairs = key_value_pairs(u, n_pairs, rng=rng)
+    store.put_many(pairs)
+    updates = list(store.updates())
+    assert len(updates) == n_pairs
+
+    phi_num, phi_den = 1, 64
+    client = connect(server, u, fresh_dataset_id(), seed=101)
+    with client:
+        client.provision(("tree",), 4)
+        client.provision(("range-sum",), 1)
+        client.provision(("f2",), 1)
+        client.provision(("heavy-hitters", phi_num, phi_den), 1)
+        client.send_updates(updates)
+        assert client.updates_streamed == n_pairs
+
+        some_key, some_val = pairs[0]
+        absent = next(k for k in range(u) if store.get(k) is None)
+        lo, hi = u // 4, u // 4 + 500
+        descriptors = [
+            point_lookup(some_key),
+            point_lookup(absent),
+            range_scan(lo, hi),
+            range_sum(0, u // 2),
+            range_sum(u // 2, u - 1),
+            f2(),
+            heavy_hitters(phi_num, phi_den),
+            predecessor(u // 2),
+        ]
+        outcomes = client.query(*descriptors)
+
+        # 1. Every verifier check passes, and values match the store.
+        for outcome in outcomes:
+            assert outcome.result.accepted, (
+                outcome.descriptor.name, outcome.result.reason
+            )
+        assert outcomes[0].result.value == some_val + 1  # +1 encoding
+        assert outcomes[1].result.value == 0  # absent key reads 0
+        scan = {k: v - 1 for k, v in outcomes[2].result.value.entries}
+        assert sorted(scan.items()) == store.range_scan(lo, hi)
+        assert outcomes[3].result.value == sum(
+            v + 1 for k, v in store.range_scan(0, u // 2)
+        )
+        assert outcomes[7].result.value == store.predecessor_key(u // 2)
+
+        # 2. Per-query transcript words against the paper's bounds.
+        word_bounds = {
+            "point-lookup": 12 * d,          # O(log u)
+            "range-scan": 12 * d + 2 * len(scan),  # O(log u + k)
+            "range-sum": 12 * d,             # O(log u), 3 words/round
+            "f2": 12 * d,                    # O(log u)
+            "heavy-hitters": 12 * d * phi_den,  # O(1/phi · log u)
+            "predecessor": 12 * d,           # O(log u)
+        }
+        for outcome in outcomes:
+            bound = word_bounds[outcome.descriptor.name]
+            assert outcome.cost.transcript_words <= bound, (
+                outcome.descriptor.name, outcome.cost.transcript_words,
+                bound,
+            )
+            # Interactive phase: O(1) frames per round -> O(log u) frames
+            # (heavy hitters ships O(1/phi) records in its d frames).
+            assert outcome.cost.frames <= 8 * d + 16
+            # Frame bytes are the word payloads plus bounded envelope
+            # overhead per frame — the Channel costs are real bytes.
+            wire = outcome.cost.bytes_sent + outcome.cost.bytes_received
+            assert wire <= 8 * outcome.cost.transcript_words + \
+                48 * outcome.cost.frames
+
+    # 3. The same flow against a cheating cloud is rejected.
+    def corrupt_f2(unit, prover, dataset):
+        if unit.descriptors[0].kind != f2().kind:
+            return None
+        cheat = ModifiedStreamF2Prover(F, dataset.u,
+                                       corrupt_key=some_key)
+        cheat.freq = list(prover.freq)
+        return cheat
+
+    small_updates = [(k, v + 1) for k, v in pairs[:200]]
+    outcome = run_against_cheating_server(
+        corrupt_f2, {("f2",): 1}, [f2()], small_updates, u=u, seed=103
+    )[0]
+    assert not outcome.result.accepted

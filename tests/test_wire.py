@@ -8,9 +8,16 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.comm.transcript import PROVER, VERIFIER, Message, Transcript
 from repro.comm.wire import (
+    TRANSCRIPT_MAGIC,
+    WIRE_VERSION,
     WireFormatError,
+    decode_message,
+    decode_transcript,
     decode_words,
+    encode_message,
+    encode_transcript,
     encode_words,
     frame_bytes,
     transcript_wire_bytes,
@@ -77,6 +84,118 @@ def test_non_canonical_word_rejected():
     frame[4:12] = F.p.to_bytes(8, "big")  # == p: not canonical
     with pytest.raises(WireFormatError):
         decode_words(F, bytes(frame))
+
+
+# -- transcript rounds ---------------------------------------------------------
+
+labels = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x10FFFF,
+                           exclude_categories=("Cs",)),
+    max_size=40,
+)
+
+messages_strategy = st.builds(
+    Message,
+    sender=st.sampled_from([PROVER, VERIFIER]),
+    round_index=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    label=labels,
+    payload=st.lists(
+        st.integers(min_value=0, max_value=F.p - 1), max_size=8
+    ).map(tuple),
+)
+
+
+@given(messages_strategy)
+def test_message_roundtrip(message):
+    blob = encode_message(F, message)
+    decoded, end = decode_message(F, blob)
+    assert decoded == message
+    assert end == len(blob)
+
+
+@given(st.lists(messages_strategy, max_size=6))
+def test_transcript_roundtrip(msgs):
+    transcript = Transcript(messages=list(msgs))
+    blob = encode_transcript(F, transcript)
+    decoded = decode_transcript(F, blob)
+    assert decoded.messages == transcript.messages
+    assert decoded.total_words == transcript.total_words
+    assert decoded.rounds == transcript.rounds
+
+
+@given(st.lists(messages_strategy, min_size=1, max_size=4),
+       st.data())
+def test_transcript_truncation_always_rejected(msgs, data):
+    blob = encode_transcript(F, Transcript(messages=list(msgs)))
+    cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    with pytest.raises(WireFormatError):
+        decode_transcript(F, blob[:cut])
+
+
+@given(st.lists(messages_strategy, max_size=4))
+def test_transcript_trailing_garbage_rejected(msgs):
+    blob = encode_transcript(F, Transcript(messages=list(msgs)))
+    with pytest.raises(WireFormatError):
+        decode_transcript(F, blob + b"\x00")
+
+
+def test_transcript_header_validation():
+    blob = encode_transcript(F, Transcript())
+    assert blob[:4] == TRANSCRIPT_MAGIC
+    with pytest.raises(WireFormatError):
+        decode_transcript(F, b"XXXX" + blob[4:])
+    bad_version = blob[:4] + bytes([WIRE_VERSION + 1]) + blob[5:]
+    with pytest.raises(WireFormatError):
+        decode_transcript(F, bad_version)
+    # Word-width mismatch: a transcript captured over the 61-bit field
+    # must not decode under the 127-bit one.
+    with pytest.raises(WireFormatError):
+        decode_transcript(BIG, blob)
+
+
+def test_message_bad_sender_code_rejected():
+    blob = encode_message(F, Message(PROVER, 0, "g1", (1, 2, 3)))
+    with pytest.raises(WireFormatError):
+        decode_message(F, b"\x00" + blob[1:])
+
+
+def test_message_absurd_word_count_rejected():
+    # Header + label declare themselves fine; the word count is damage.
+    blob = bytearray(encode_message(F, Message(PROVER, 0, "", ())))
+    blob[-4:] = (1 << 30).to_bytes(4, "big")
+    with pytest.raises(WireFormatError):
+        decode_message(F, bytes(blob))
+
+
+def test_message_non_utf8_label_rejected():
+    blob = bytearray(encode_message(F, Message(PROVER, 0, "ab", ())))
+    blob[6:8] = b"\xff\xfe"
+    with pytest.raises(WireFormatError):
+        decode_message(F, bytes(blob))
+
+
+def test_encode_message_validates_fields():
+    with pytest.raises(WireFormatError):
+        encode_message(F, Message(PROVER, 1 << 32, "g", ()))
+    with pytest.raises(WireFormatError):
+        encode_message(F, Message(PROVER, 0, "x" * 300, ()))
+
+
+def test_protocol_transcript_roundtrips_and_costs_survive():
+    """A real protocol run's transcript survives the wire byte-for-byte,
+    including the (s, t) accounting read off the decoded copy."""
+    from repro.core.f2 import self_join_size_protocol
+    from repro.streams.model import Stream
+
+    stream = Stream.from_items(256, [3, 3, 9, 200, 200, 200])
+    result = self_join_size_protocol(stream, F, rng=random.Random(5))
+    decoded = decode_transcript(F, encode_transcript(F, result.transcript))
+    assert decoded.messages == result.transcript.messages
+    assert decoded.prover_words == result.transcript.prover_words
+    assert decoded.verifier_words == result.transcript.verifier_words
+    assert transcript_wire_bytes(F, decoded) == transcript_wire_bytes(
+        F, result.transcript
+    )
 
 
 def test_transcript_wire_bytes_matches_protocol_run():

@@ -17,6 +17,7 @@ from repro.service import (
     ProverServer,
     ServiceClient,
     f2,
+    fk,
     heavy_hitters,
     point_lookup,
     predecessor,
@@ -37,10 +38,11 @@ def main():
     client = ServiceClient(host, port, DEFAULT_FIELD, u, dataset_id=1,
                            rng=random.Random(7))
     # Verifier pools are provisioned *before* the stream (Definition 1):
-    # one copy is consumed per verified query; multiple RANGE-SUMs share
-    # one copy via the batched direct-sum rounds.
+    # one copy is consumed per verified query; sum-check queries in one
+    # query() call (here the two RANGE-SUMs and the Fk) share one copy
+    # of the ("batch",) pool via the batched direct-sum rounds.
     client.provision(("tree",), 3)
-    client.provision(("range-sum",), 1)
+    client.provision(("batch",), 1)
     client.provision(("f2",), 1)
     client.provision(("heavy-hitters", 1, 32), 1)
 
@@ -53,6 +55,7 @@ def main():
         point_lookup(some_key),
         range_sum(0, u // 2),
         range_sum(u // 2, u - 1),
+        fk(3),          # joins the range-sums in one batched engine run
         f2(workers=4),  # worker-pool execution mode on the server
         heavy_hitters(1, 32),
         predecessor(u // 2),

@@ -22,7 +22,10 @@ See README.md for the full tour and DESIGN.md for the system inventory.
 
 from repro.comm import Channel, Transcript
 from repro.core import (
+    BatchQuery,
     BatchRangeSumProver,
+    BatchedSumcheckEngine,
+    BatchedSumcheckVerifier,
     DictionaryAnswer,
     F2Prover,
     F2Verifier,
@@ -56,7 +59,12 @@ from repro.core import (
     predecessor_query,
     range_query,
     range_sum_protocol,
+    batch_f2,
+    batch_fk,
+    batch_inner_product,
+    batch_range_sum,
     run_batch_range_sum,
+    run_batched_sumcheck,
     run_f2,
     run_fk,
     run_heavy_hitters,
@@ -89,7 +97,10 @@ __all__ = [
     "F2Verifier",
     "FkProver",
     "FkVerifier",
+    "BatchQuery",
     "BatchRangeSumProver",
+    "BatchedSumcheckEngine",
+    "BatchedSumcheckVerifier",
     "IndependentCopies",
     "InnerProductProver",
     "InnerProductVerifier",
@@ -126,7 +137,12 @@ __all__ = [
     "predecessor_query",
     "range_query",
     "range_sum_protocol",
+    "batch_f2",
+    "batch_fk",
+    "batch_inner_product",
+    "batch_range_sum",
     "run_batch_range_sum",
+    "run_batched_sumcheck",
     "run_f2",
     "run_fk",
     "run_heavy_hitters",

@@ -14,6 +14,7 @@ from repro.adversary.cheating_provers import (
     ModifiedStreamF2Prover,
     OffsetClaimF2Prover,
     OmittingSubVectorProver,
+    PerQueryCheatingBatchEngine,
     corrupted_copy,
 )
 from repro.comm.channel import drop_last_word, flip_word, replace_payload
@@ -27,6 +28,7 @@ __all__ = [
     "ModifiedStreamF2Prover",
     "OffsetClaimF2Prover",
     "OmittingSubVectorProver",
+    "PerQueryCheatingBatchEngine",
     "corrupted_copy",
     "drop_last_word",
     "flip_word",

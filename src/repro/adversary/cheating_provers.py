@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.f2 import F2Prover
 from repro.core.heavy_hitters import HeavyHittersProver
+from repro.core.multiquery import BatchedSumcheckEngine
 from repro.core.subvector import SubVectorProver
 from repro.field.modular import PrimeField
 
@@ -174,6 +175,68 @@ class InflatingHeavyHittersProver(HeavyHittersProver):
         for level in range(len(self._counts)):
             self._counts[level][idx] += self.amount
             idx >>= 1
+
+
+class PerQueryCheatingBatchEngine(BatchedSumcheckEngine):
+    """Cheats on exactly *one* query of a heterogeneous batch.
+
+    The direct-sum observation (Section 7) says each batch member keeps
+    its single-query guarantee; this prover probes exactly that: every
+    other query is served honestly, the victim's messages lie.  Two
+    strategies:
+
+    * ``style="claim"`` — shift the victim's round-0 ``g(0)`` (an
+      inflated claimed answer, then honest play): caught by the round-1
+      sum-check invariant.
+    * ``style="adaptive"`` — the strongest lie available without knowing
+      r: smear the offset as a constant drift δ/2^j over *all* of the
+      victim's round-j evaluations, so every cross-round invariant holds
+      exactly (adding a constant to an evaluation table shifts its
+      interpolant by the same constant) and only the verifier's private
+      final check can — and does — catch it.
+
+    Tests assert the victim alone is rejected while honest queries in
+    the same batch still verify, including behind the real service wire.
+    """
+
+    def __init__(self, field: PrimeField, u: int, cheat_query: int = 0,
+                 offset: int = 1, style: str = "adaptive", backend=None):
+        super().__init__(field, u, backend=backend)
+        if style not in ("adaptive", "claim"):
+            raise ValueError("unknown cheating style %r" % (style,))
+        self.cheat_query = cheat_query
+        self.offset = offset % field.p
+        self.style = style
+        self._half = field.inv(2)
+        self._drift = 0
+        self._round = 0
+
+    def receive_batch(self, queries) -> None:
+        queries = list(queries)
+        if not 0 <= self.cheat_query < len(queries):
+            raise ValueError(
+                "cheat_query %d outside the batch of %d"
+                % (self.cheat_query, len(queries))
+            )
+        super().receive_batch(queries)
+        self._drift = self.offset * self._half % self.field.p
+        self._round = 0
+
+    def round_messages(self):
+        messages = super().round_messages()
+        p = self.field.p
+        victim = self.cheat_query
+        if self.style == "claim":
+            if self._round == 0:
+                messages[victim] = list(messages[victim])
+                messages[victim][0] = (messages[victim][0] + self.offset) % p
+        else:
+            messages[victim] = [
+                (v + self._drift) % p for v in messages[victim]
+            ]
+            self._drift = self._drift * self._half % p
+        self._round += 1
+        return messages
 
 
 def corrupted_copy(stream, key: int, offset: int = 1):

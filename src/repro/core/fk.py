@@ -23,7 +23,7 @@ from repro.field.modular import PrimeField
 from repro.field.polynomial import evaluate_from_evals
 from repro.field.vectorized import (
     canonical_table,
-    ensure_backend_array,
+    fk_round_sums,
     fold_pairs,
     get_backend,
 )
@@ -64,30 +64,11 @@ class FkProver:
 
     def round_message(self) -> List[int]:
         """Evaluations [g(0), ..., g(k)] of the degree-k round polynomial:
-        g(c) = Σ_t ((1-c)·A[2t] + c·A[2t+1])^k."""
+        g(c) = Σ_t ((1-c)·A[2t] + c·A[2t+1])^k — one pair-line stack and
+        its per-row power sums (shared with the batched engine)."""
         if self._table is None:
             raise RuntimeError("begin_proof() must be called first")
-        p = self.field.p
-        k = self.k
-        be = self.backend
-        table = self._table = ensure_backend_array(be, self._table)
-        if getattr(be, "vectorized", False):
-            lo = table[0::2]
-            hi = table[1::2]
-            out = []
-            for c in range(k + 1):
-                line = be.add(be.mul(lo, (1 - c) % p), be.mul(hi, c % p))
-                out.append(be.sum(be.pow(line, k)))
-            return out
-        out = []
-        for c in range(k + 1):
-            one_minus_c = (1 - c) % p
-            acc = 0
-            for t in range(0, len(table), 2):
-                line = (one_minus_c * table[t] + c * table[t + 1]) % p
-                acc += pow(line, k, p)
-            out.append(acc % p)
-        return out
+        return fk_round_sums(self.backend, self.field, self._table, self.k)
 
     def receive_challenge(self, r: int) -> None:
         if self._table is None:

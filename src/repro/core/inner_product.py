@@ -23,17 +23,29 @@ from repro.core.base import (
 )
 from repro.field.modular import PrimeField
 from repro.field.polynomial import evaluate_from_evals
+from repro.field.vectorized import (
+    canonical_table,
+    fold_pairs,
+    get_backend,
+    inner_product_round_sums,
+)
 from repro.lde.streaming import StreamingLDE
 
 
 class InnerProductProver:
-    """Honest prover holding both frequency vectors; folds both per round."""
+    """Honest prover holding both frequency vectors; folds both per round.
 
-    def __init__(self, field: PrimeField, u: int):
+    Round messages and folds run as whole-array passes under a vectorized
+    backend (shared with the batched multi-query engine); the scalar path
+    is the reference and produces identical messages.
+    """
+
+    def __init__(self, field: PrimeField, u: int, backend=None):
         self.field = field
         self.u = u
         self.d = pow2_dimension(u)
         self.size = 1 << self.d
+        self.backend = backend if backend is not None else get_backend(field)
         self.freq_a: List[int] = [0] * self.size
         self.freq_b: List[int] = [0] * self.size
         self._table_a: Optional[List[int]] = None
@@ -61,43 +73,22 @@ class InnerProductProver:
         self.freq_b = list(b) + [0] * (self.size - len(b))
 
     def begin_proof(self) -> None:
-        p = self.field.p
-        self._table_a = [f % p for f in self.freq_a]
-        self._table_b = [f % p for f in self.freq_b]
+        self._table_a = canonical_table(self.backend, self.field, self.freq_a)
+        self._table_b = canonical_table(self.backend, self.field, self.freq_b)
 
     def round_message(self) -> List[int]:
         """[g(0), g(1), g(2)] with g(c) = Σ_t lineA_t(c) · lineB_t(c)."""
         if self._table_a is None or self._table_b is None:
             raise RuntimeError("begin_proof() must be called first")
-        p = self.field.p
-        ta = self._table_a
-        tb = self._table_b
-        g0 = 0
-        g1 = 0
-        g2 = 0
-        for t in range(0, len(ta), 2):
-            a_lo, a_hi = ta[t], ta[t + 1]
-            b_lo, b_hi = tb[t], tb[t + 1]
-            g0 += a_lo * b_lo
-            g1 += a_hi * b_hi
-            g2 += (2 * a_hi - a_lo) * (2 * b_hi - b_lo)
-        return [g0 % p, g1 % p, g2 % p]
+        return inner_product_round_sums(
+            self.backend, self.field, self._table_a, self._table_b
+        )
 
     def receive_challenge(self, r: int) -> None:
         if self._table_a is None or self._table_b is None:
             raise RuntimeError("begin_proof() must be called first")
-        p = self.field.p
-        one_minus_r = (1 - r) % p
-        ta = self._table_a
-        tb = self._table_b
-        self._table_a = [
-            (one_minus_r * ta[t] + r * ta[t + 1]) % p
-            for t in range(0, len(ta), 2)
-        ]
-        self._table_b = [
-            (one_minus_r * tb[t] + r * tb[t + 1]) % p
-            for t in range(0, len(tb), 2)
-        ]
+        self._table_a = fold_pairs(self.backend, self.field, self._table_a, r)
+        self._table_b = fold_pairs(self.backend, self.field, self._table_b, r)
 
 
 class InnerProductVerifier:

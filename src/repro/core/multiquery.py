@@ -3,10 +3,14 @@
 Re-running a protocol with the *same* randomness after the prover has seen
 it is unsafe.  The paper offers two remedies, both implemented here:
 
-* :func:`run_batch_range_sum` — run many queries *in parallel,
+* :func:`run_batched_sumcheck` — run many queries *in parallel,
   round-by-round, with shared randomness* (the 'direct sum' observation):
   the prover commits all round-j polynomials before r_j is revealed, so
-  each query retains the single-query guarantee.
+  each query retains the single-query guarantee.  The
+  :class:`BatchedSumcheckEngine` runs *heterogeneous* batches — F2, Fk,
+  INNER-PRODUCT and RANGE-SUM queries over one dataset — as one fused
+  (queries × table) pass per round; :func:`run_batch_range_sum` is the
+  RANGE-SUM-only wrapper kept for the original interface.
 * :class:`IndependentCopies` — maintain c independent protocol instances
   over the stream (c·log u words); each verified query consumes one copy.
 """
@@ -14,53 +18,171 @@ it is unsafe.  The paper offers two remedies, both implemented here:
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.comm.channel import Channel
-from repro.core.base import VerificationResult, accepted, rejected
+from repro.core.base import (
+    VerificationResult,
+    accepted,
+    pow2_dimension,
+    rejected,
+)
+from repro.core.inner_product import InnerProductVerifier
 from repro.core.range_sum import RangeSumProver, RangeSumVerifier
 from repro.field.modular import PrimeField
 from repro.field.polynomial import evaluate_from_evals_batch
-from repro.field.vectorized import fold_pairs, get_backend
+from repro.field.vectorized import (
+    canonical_table,
+    f2_round_sums,
+    fk_round_sums,
+    fold_pairs,
+    get_backend,
+    inner_product_round_sums,
+)
+from repro.lde.canonical import range_indicator_eval
 from repro.lde.streaming import (
     DEFAULT_BLOCK,
     StreamingLDE,
     apply_stream_batched,
 )
 
+# -- batch query descriptors ---------------------------------------------------
 
-class BatchRangeSumProver:
-    """The prover side of the lockstep multi-query RANGE-SUM rounds.
+#: Engine-level kind codes for heterogeneous batches.  They are stable
+#: wire words (the service's M_RECEIVE_BATCH payload), deliberately
+#: distinct from the service-layer query kinds in
+#: :mod:`repro.service.router`, which cover non-sum-check protocols too.
+BATCH_KIND_F2 = 1
+BATCH_KIND_FK = 2
+BATCH_KIND_INNER_PRODUCT = 3
+BATCH_KIND_RANGE_SUM = 4
 
-    Holds one shared a-table plus a per-query indicator table; per round
-    it commits every query's degree-2 polynomial
-    (:meth:`round_messages`) before the shared challenge folds all
-    tables (:meth:`receive_challenge`).  :func:`run_batch_range_sum`
-    drives one of these — either built locally from a
-    :class:`~repro.core.range_sum.RangeSumProver`'s frequency vector or
-    standing in for a remote prover behind the service wire protocol
-    (:mod:`repro.service`), which implements the same three methods.
+_BATCH_KIND_NAMES = {
+    BATCH_KIND_F2: "f2",
+    BATCH_KIND_FK: "fk",
+    BATCH_KIND_INNER_PRODUCT: "inner-product",
+    BATCH_KIND_RANGE_SUM: "range-sum",
+}
 
-    Under a vectorized backend the indicator tables form one
-    (queries × table) stack: each round's polynomials for *all* queries
-    are three ``rows_dot`` limb-plane passes (einsum matrix–vector
-    products, no modmul temporaries), and each challenge folds the whole
-    stack at once.  The per-query loops are the scalar reference;
-    transcripts are identical either way.
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One member of a heterogeneous sum-check batch.
+
+    The four batchable protocols share the lockstep round structure
+    (commit every query's round polynomial, then reveal one shared
+    challenge); a :class:`BatchQuery` names which final check — and, for
+    RANGE-SUM, which indicator row — a batch member carries.
+    """
+
+    kind: int
+    params: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.kind == BATCH_KIND_FK:
+            if len(self.params) != 1 or self.params[0] < 1:
+                raise ValueError("fk batch query needs one parameter k >= 1")
+        elif self.kind == BATCH_KIND_RANGE_SUM:
+            if len(self.params) != 2 or not 0 <= self.params[0] <= self.params[1]:
+                raise ValueError(
+                    "range-sum batch query needs 0 <= lo <= hi, got %r"
+                    % (self.params,)
+                )
+        elif self.kind in (BATCH_KIND_F2, BATCH_KIND_INNER_PRODUCT):
+            if self.params:
+                raise ValueError(
+                    "%s batch query takes no parameters"
+                    % _BATCH_KIND_NAMES[self.kind]
+                )
+        else:
+            raise ValueError("unknown batch query kind %r" % (self.kind,))
+
+    @property
+    def name(self) -> str:
+        return _BATCH_KIND_NAMES[self.kind]
+
+    @property
+    def degree(self) -> int:
+        """Per-variable degree of this query's round polynomial."""
+        return self.params[0] if self.kind == BATCH_KIND_FK else 2
+
+    def to_words(self) -> List[int]:
+        return [self.kind, len(self.params), *self.params]
+
+    @classmethod
+    def parse_many(cls, words: Sequence[int]) -> List["BatchQuery"]:
+        """Decode a concatenation of :meth:`to_words` encodings."""
+        out = []
+        cursor = 0
+        while cursor < len(words):
+            if cursor + 2 > len(words):
+                raise ValueError("truncated batch query words")
+            count = words[cursor + 1]
+            end = cursor + 2 + count
+            if end > len(words):
+                raise ValueError("truncated batch query words")
+            out.append(cls(words[cursor], tuple(words[cursor + 2 : end])))
+            cursor = end
+        return out
+
+
+def batch_f2() -> BatchQuery:
+    return BatchQuery(BATCH_KIND_F2)
+
+
+def batch_fk(k: int) -> BatchQuery:
+    return BatchQuery(BATCH_KIND_FK, (k,))
+
+
+def batch_inner_product() -> BatchQuery:
+    return BatchQuery(BATCH_KIND_INNER_PRODUCT)
+
+
+def batch_range_sum(lo: int, hi: int) -> BatchQuery:
+    return BatchQuery(BATCH_KIND_RANGE_SUM, (lo, hi))
+
+
+class BatchedSumcheckEngine:
+    """The prover side of heterogeneous lockstep multi-query rounds.
+
+    Generalises the stacked-table RANGE-SUM engine to mixed batches of
+    F2, Fk, INNER-PRODUCT and RANGE-SUM queries over one dataset: one
+    shared a-table (plus one b-table when the batch carries INNER-PRODUCT
+    members) and one (queries × table) indicator stack for the RANGE-SUM
+    members.  Per round it commits every query's polynomial
+    (:meth:`round_messages`) before the shared challenge folds every
+    table at once (:meth:`receive_challenge`) — at most one fused pass
+    per query family, however many queries share it.
+
+    Under a vectorized backend the indicator rounds are three
+    ``rows_dot`` limb-plane passes over the stack, the Fk rounds one
+    ``pair_line_stack``/``rows_pow_sums`` pass per distinct k, and each
+    challenge folds the whole stack in one ``row_fold``.  The per-query
+    loops of the scalar backend are the reference; transcripts are
+    identical either way — and identical to the standalone one-query
+    provers, message for message.
+
+    :func:`run_batched_sumcheck` drives one of these — built locally
+    from the dataset's frequency vectors or standing in for a remote
+    prover behind the service wire protocol (:mod:`repro.service`),
+    which implements the same three methods.
     """
 
     def __init__(self, field: PrimeField, u: int, backend=None):
-        from repro.core.base import pow2_dimension
-
         self.field = field
         self.u = u
         self.d = pow2_dimension(u)
         self.size = 1 << self.d
         self.backend = backend if backend is not None else get_backend(field)
         self.freq_a: List[int] = [0] * self.size
+        self.freq_b: List[int] = [0] * self.size
+        self._queries: Optional[List[BatchQuery]] = None
         self._a_table = None
+        self._b_table = None
         self._b_stack = None
         self._b_tables: Optional[List[List[int]]] = None
+        self._range_index: List[int] = []
 
     # -- stream phase -------------------------------------------------------
 
@@ -69,51 +191,78 @@ class BatchRangeSumProver:
             raise ValueError("key %d outside universe [0, %d)" % (i, self.u))
         self.freq_a[i] += delta
 
+    process_a = process
+
+    def process_b(self, i: int, delta: int) -> None:
+        if not 0 <= i < self.u:
+            raise ValueError("key %d outside universe [0, %d)" % (i, self.u))
+        self.freq_b[i] += delta
+
     def process_stream(self, updates) -> None:
         for i, delta in updates:
             self.process(i, delta)
 
-    def true_answer(self, lo: int, hi: int) -> int:
-        return sum(self.freq_a[lo : hi + 1])
+    def process_stream_b(self, updates) -> None:
+        for i, delta in updates:
+            self.process_b(i, delta)
 
     @classmethod
-    def from_range_sum_prover(
-        cls, prover: RangeSumProver, backend=None
-    ) -> "BatchRangeSumProver":
-        """Wrap an existing single-query prover's frequency vector."""
-        out = cls(prover.field, prover.u, backend=backend)
-        out.freq_a = prover.freq_a
+    def from_vectors(cls, field: PrimeField, u: int, freq_a: Sequence[int],
+                     freq_b: Optional[Sequence[int]] = None,
+                     backend=None) -> "BatchedSumcheckEngine":
+        """Wrap a dataset's (padded or unpadded) frequency vectors."""
+        out = cls(field, u, backend=backend)
+        out.freq_a[: len(freq_a)] = list(freq_a)
+        if freq_b is not None:
+            out.freq_b[: len(freq_b)] = list(freq_b)
         return out
 
     # -- proof phase ---------------------------------------------------------
 
-    def receive_queries(self, queries: Sequence[Tuple[int, int]]) -> None:
-        """Materialise the indicator table of every query at once."""
-        for lo, hi in queries:
-            if not 0 <= lo <= hi < self.size:
-                raise ValueError("query range [%d, %d] invalid" % (lo, hi))
+    def receive_batch(self, queries: Sequence[BatchQuery]) -> None:
+        """Materialise every table the batch needs, at once."""
+        queries = list(queries)
+        for q in queries:
+            if not isinstance(q, BatchQuery):
+                raise TypeError("receive_batch expects BatchQuery members")
+            if q.kind == BATCH_KIND_RANGE_SUM and not (
+                0 <= q.params[0] <= q.params[1] < self.size
+            ):
+                raise ValueError(
+                    "query range [%d, %d] invalid" % q.params
+                )
         be = self.backend
-        p = self.field.p
+        field = self.field
+        self._queries = queries
+        self._a_table = canonical_table(be, field, self.freq_a)
+        self._b_table = (
+            canonical_table(be, field, self.freq_b)
+            if any(q.kind == BATCH_KIND_INNER_PRODUCT for q in queries)
+            else None
+        )
+        self._range_index = [
+            idx for idx, q in enumerate(queries)
+            if q.kind == BATCH_KIND_RANGE_SUM
+        ]
+        self._b_stack = None
+        self._b_tables = None
+        if not self._range_index:
+            return
+        ranges = [queries[idx].params for idx in self._range_index]
         if getattr(be, "vectorized", False):
-            self._a_table = be.asarray(self.freq_a)
             # The indicator stack is written directly into one 2-D array.
-            self._b_stack = be.stack([be.zeros(self.size)] * len(queries))
-            for q, (lo, hi) in enumerate(queries):
-                self._b_stack[q, lo : hi + 1] = 1
-            self._b_tables = None
+            self._b_stack = be.stack([be.zeros(self.size)] * len(ranges))
+            for row, (lo, hi) in enumerate(ranges):
+                self._b_stack[row, lo : hi + 1] = 1
         else:
-            self._a_table = [f % p for f in self.freq_a]
             self._b_tables = []
-            for lo, hi in queries:
+            for lo, hi in ranges:
                 b = [0] * self.size
                 b[lo : hi + 1] = [1] * (hi - lo + 1)
                 self._b_tables.append(b)
-            self._b_stack = None
 
-    def round_messages(self) -> List[List[int]]:
-        """Every query's committed [g(0), g(1), g(2)] for this round."""
-        if self._a_table is None:
-            raise RuntimeError("receive_queries() must be called first")
+    def _range_round_messages(self) -> List[List[int]]:
+        """The fused (queries × table) pass for the RANGE-SUM members."""
         be = self.backend
         p = self.field.p
         a_table = self._a_table
@@ -138,29 +287,308 @@ class BatchRangeSumProver:
             messages.append([g0 % p, g1 % p, g2 % p])
         return messages
 
-    def receive_challenge(self, r: int) -> None:
-        """Fold the shared a-table and every indicator table with ``r``."""
-        if self._a_table is None:
-            raise RuntimeError("receive_queries() must be called first")
+    def round_messages(self) -> List[List[int]]:
+        """Every query's committed round polynomial, in batch order.
+
+        Queries of one family share the committed computation: all F2
+        members reuse one :func:`f2_round_sums` pass, Fk members one
+        stacked pass per distinct k, INNER-PRODUCT members one two-table
+        pass, and the RANGE-SUM members one fused stack pass.
+        """
+        if self._queries is None:
+            raise RuntimeError("receive_batch() must be called first")
         be = self.backend
-        p = self.field.p
-        if self._b_stack is not None:
-            self._a_table = fold_pairs(be, self.field, self._a_table, r)
-            self._b_stack = be.row_fold(self._b_stack, r)
-            return
-        one_minus_r = (1 - r) % p
+        field = self.field
         a_table = self._a_table
-        self._a_table = [
-            (one_minus_r * a_table[t] + r * a_table[t + 1]) % p
-            for t in range(0, len(a_table), 2)
-        ]
-        self._b_tables = [
-            [
-                (one_minus_r * b[t] + r * b[t + 1]) % p
-                for t in range(0, len(b), 2)
-            ]
-            for b in self._b_tables
-        ]
+        messages: List[Optional[List[int]]] = [None] * len(self._queries)
+        range_messages = (
+            self._range_round_messages() if self._range_index else []
+        )
+        for row, idx in enumerate(self._range_index):
+            messages[idx] = range_messages[row]
+        f2_message: Optional[List[int]] = None
+        ip_message: Optional[List[int]] = None
+        fk_messages = self._fk_round_messages()
+        for idx, q in enumerate(self._queries):
+            if q.kind == BATCH_KIND_F2:
+                if f2_message is None:
+                    f2_message = f2_round_sums(be, field, a_table)
+                messages[idx] = list(f2_message)
+            elif q.kind == BATCH_KIND_FK:
+                messages[idx] = list(fk_messages[q.params[0]])
+            elif q.kind == BATCH_KIND_INNER_PRODUCT:
+                if ip_message is None:
+                    ip_message = inner_product_round_sums(
+                        be, field, a_table, self._b_table
+                    )
+                messages[idx] = list(ip_message)
+        return messages
+
+    def _fk_round_messages(self):
+        """One message per distinct k among the batch's Fk members.
+
+        Every k shares one pair-line stack over the current a-table
+        (rows c = 0..k_max) and one incremental power chain
+        ``stack^2, stack^3, ...``: the degree-k message is the per-row
+        sums of the first k+1 rows of ``stack^k``, so the whole Fk
+        family costs k_max - 1 stacked multiplies per round instead of
+        one full pass per distinct k.  The scalar backend keeps the
+        per-k reference loop (:func:`fk_round_sums`); messages are
+        identical either way.
+        """
+        ks = sorted(
+            {
+                q.params[0]
+                for q in self._queries
+                if q.kind == BATCH_KIND_FK
+            }
+        )
+        if not ks:
+            return {}
+        be = self.backend
+        field = self.field
+        if not getattr(be, "vectorized", False):
+            return {
+                k: fk_round_sums(be, field, self._a_table, k) for k in ks
+            }
+        k_max = ks[-1]
+        lines = be.pair_line_stack(self._a_table, range(k_max + 1))
+        out = {}
+        if ks[0] == 1:
+            out[1] = be.row_sums(lines[:2])
+        power = lines
+        for e in range(2, k_max + 1):
+            power = be.mul(power, lines)
+            if e in ks:
+                out[e] = be.row_sums(power[: e + 1])
+        return out
+
+    def receive_challenge(self, r: int) -> None:
+        """Fold the shared tables and the whole indicator stack with ``r``."""
+        if self._queries is None:
+            raise RuntimeError("receive_batch() must be called first")
+        be = self.backend
+        field = self.field
+        self._a_table = fold_pairs(be, field, self._a_table, r)
+        if self._b_table is not None:
+            self._b_table = fold_pairs(be, field, self._b_table, r)
+        if self._b_stack is not None:
+            self._b_stack = be.row_fold(self._b_stack, r)
+        elif self._b_tables is not None:
+            self._b_tables = be.row_fold(self._b_tables, r)
+
+
+class BatchRangeSumProver(BatchedSumcheckEngine):
+    """RANGE-SUM-only batch engine (the original Section 7 interface).
+
+    Kept as the wire-compatible engine behind
+    :func:`run_batch_range_sum` and the service's ``M_RECEIVE_QUERIES``
+    opcode: :meth:`receive_queries` takes plain ``(lo, hi)`` pairs and
+    every round message is three words.
+    """
+
+    def true_answer(self, lo: int, hi: int) -> int:
+        return sum(self.freq_a[lo : hi + 1])
+
+    @classmethod
+    def from_range_sum_prover(
+        cls, prover: RangeSumProver, backend=None
+    ) -> "BatchRangeSumProver":
+        """Wrap an existing single-query prover's frequency vector."""
+        out = cls(prover.field, prover.u, backend=backend)
+        out.freq_a = prover.freq_a
+        return out
+
+    def receive_queries(self, queries: Sequence[Tuple[int, int]]) -> None:
+        """Materialise the indicator table of every query at once."""
+        for lo, hi in queries:
+            if not 0 <= lo <= hi < self.size:
+                raise ValueError("query range [%d, %d] invalid" % (lo, hi))
+        self.receive_batch([batch_range_sum(lo, hi) for lo, hi in queries])
+
+
+class BatchedSumcheckVerifier(InnerProductVerifier):
+    """Streaming verifier for heterogeneous batches: O(log u) words.
+
+    Two running LDEs at one shared secret point — ``f_a(r)`` feeds every
+    final check, ``f_b(r)`` the INNER-PRODUCT members; RANGE-SUM members
+    need no streamed state beyond ``f_a(r)`` (their indicator is
+    evaluated from canonical intervals at query time).  F2/Fk members
+    read ``f_a(r)`` only, so one copy of this verifier can watch a
+    stream once and later verify any mix.
+    """
+
+    def process(self, i: int, delta: int) -> None:
+        self.process_a(i, delta)
+
+    def process_stream(self, updates) -> None:
+        for i, delta in updates:
+            self.process_a(i, delta)
+
+    def indicator_lde_at_r(self, lo: int, hi: int) -> int:
+        """``f_b(r)`` of a range indicator in O(log² u) (Section 3.2)."""
+        return range_indicator_eval(self.field, self.d, self.r, lo, hi)
+
+
+def run_batched_sumcheck(
+    prover,
+    verifier,
+    queries: Sequence[BatchQuery],
+    channel: Optional[Channel] = None,
+    backend=None,
+) -> List[VerificationResult]:
+    """Verify a heterogeneous batch of queries in lockstep (Section 7).
+
+    Per round the prover commits one polynomial *per query* — a degree-2
+    message for F2/INNER-PRODUCT/RANGE-SUM members, k+1 evaluations for
+    an Fk member — before the shared challenge r_j is revealed; the
+    verifier keeps one running check per query and evaluates every
+    committed message at r_j through
+    :func:`~repro.field.polynomial.evaluate_from_evals_batch` (one
+    stacked interpolation pass per distinct message length).  Words are
+    attributed per query on the channel, so
+    :meth:`~repro.comm.channel.Channel.query_cost` matches what the same
+    query would pay in a standalone run plus the shared challenges.
+
+    ``prover`` is a :class:`BatchedSumcheckEngine` (or the service
+    layer's remote proxy with the same ``receive_batch`` /
+    ``round_messages`` / ``receive_challenge`` interface; a legacy
+    RANGE-SUM-only proxy exposing ``receive_queries`` is also accepted).
+    ``verifier`` is a :class:`BatchedSumcheckVerifier` for mixed
+    batches; any single-LDE streaming verifier of the sum-check family
+    (RANGE-SUM / F2 / Fk) works for batches without INNER-PRODUCT
+    members.
+    """
+    ch = channel or Channel()
+    field = verifier.field
+    p = field.p
+    d = verifier.d
+    queries = list(queries)
+    for q in queries:
+        if not isinstance(q, BatchQuery):
+            raise TypeError("run_batched_sumcheck expects BatchQuery members")
+        if q.kind == BATCH_KIND_RANGE_SUM and not (
+            0 <= q.params[0] <= q.params[1] < verifier.size
+        ):
+            raise ValueError("query range [%d, %d] invalid" % q.params)
+    if not queries:
+        return []
+    lde_a = getattr(verifier, "lde_a", None)
+    if lde_a is None:
+        lde_a = verifier.lde
+    lde_b = getattr(verifier, "lde_b", None)
+    if lde_b is None and any(
+        q.kind == BATCH_KIND_INNER_PRODUCT for q in queries
+    ):
+        raise ValueError(
+            "INNER-PRODUCT batch members need a verifier with a "
+            "second-stream LDE (BatchedSumcheckVerifier)"
+        )
+    if hasattr(prover, "receive_batch"):
+        prover.receive_batch(queries)
+    else:
+        # Legacy RANGE-SUM-only engines (the service's original batched
+        # proxy) speak (lo, hi) pairs.
+        if any(q.kind != BATCH_KIND_RANGE_SUM for q in queries):
+            raise TypeError(
+                "prover %r only supports RANGE-SUM batches" % (prover,)
+            )
+        prover.receive_queries([q.params for q in queries])
+    eval_backend = (
+        backend if backend is not None else getattr(prover, "backend", None)
+    )
+
+    # Each RANGE-SUM member's range announcement is charged to that
+    # query, so Channel.query_cost stays directly comparable to a
+    # standalone run (F2/Fk/INNER-PRODUCT standalone runs carry no
+    # query announcement).
+    for idx, q in enumerate(queries):
+        if q.kind == BATCH_KIND_RANGE_SUM:
+            ch.verifier_says(0, "q%d-range" % idx, list(q.params), query=idx)
+
+    degrees = [q.degree for q in queries]
+    # The direct-sum verifier's words: the shared point and LDE values,
+    # plus — per query — the claimed answer, the running check and the
+    # committed (degree+1)-word message.  For a single-query batch this
+    # reduces exactly to the standalone verifier's space_words formula.
+    space_words = (
+        d
+        + (2 if lde_b is not None else 1)
+        + sum(degree + 3 for degree in degrees)
+    )
+    claimed: List[Optional[int]] = [None] * len(queries)
+    previous: List[Optional[int]] = [None] * len(queries)
+    failed: List[Optional[str]] = [None] * len(queries)
+
+    for j in range(d):
+        # The prover commits every query's round polynomial first.
+        messages = prover.round_messages()
+        deliveries: List[Optional[List[int]]] = [None] * len(queries)
+        for idx, msg in enumerate(messages):
+            delivered = ch.prover_says(j, "q%d-g%d" % (idx, j + 1), msg,
+                                       query=idx)
+            if failed[idx] is not None:
+                continue
+            if len(delivered) != degrees[idx] + 1:
+                failed[idx] = "round %d: malformed message" % j
+                continue
+            evals = [v % p for v in delivered]
+            round_sum = (evals[0] + evals[1]) % p
+            if j == 0:
+                claimed[idx] = round_sum
+            elif round_sum != previous[idx]:
+                failed[idx] = "round %d: sum-check invariant violated" % j
+                continue
+            deliveries[idx] = evals
+        # One shared-weight interpolation pass per distinct message
+        # length covers every live query (a stacked array pass under a
+        # vectorized backend).
+        by_length = {}
+        for idx, evals in enumerate(deliveries):
+            if evals is not None:
+                by_length.setdefault(len(evals), []).append(idx)
+        for length in sorted(by_length):
+            group = by_length[length]
+            evaluated = evaluate_from_evals_batch(
+                field, [deliveries[idx] for idx in group], verifier.r[j],
+                backend=eval_backend,
+            )
+            for idx, value in zip(group, evaluated):
+                previous[idx] = value
+        # Reveal r_j and fold all tables.
+        if j < d - 1:
+            ch.verifier_says(j, "r%d" % (j + 1), [verifier.r[j]])
+        prover.receive_challenge(verifier.r[j])
+
+    results = []
+    fa_at_r = lde_a.value
+    for idx, q in enumerate(queries):
+        if failed[idx] is not None:
+            results.append(rejected(ch.transcript, failed[idx],
+                                    space_words))
+            continue
+        if q.kind == BATCH_KIND_F2:
+            target = fa_at_r * fa_at_r % p
+        elif q.kind == BATCH_KIND_FK:
+            target = field.pow(fa_at_r, q.params[0])
+        elif q.kind == BATCH_KIND_INNER_PRODUCT:
+            target = fa_at_r * lde_b.value % p
+        else:
+            lo, hi = q.params
+            fb_at_r = range_indicator_eval(field, d, verifier.r, lo, hi)
+            target = fa_at_r * fb_at_r % p
+        if previous[idx] != target:
+            results.append(
+                rejected(
+                    ch.transcript,
+                    "query %d: final check failed" % idx,
+                    space_words,
+                )
+            )
+        else:
+            results.append(accepted(ch.transcript, claimed[idx],
+                                    space_words))
+    return results
 
 
 def run_batch_range_sum(
@@ -172,23 +600,18 @@ def run_batch_range_sum(
 ) -> List[VerificationResult]:
     """Verify many RANGE-SUM queries in lockstep with shared randomness.
 
-    Per round the prover sends one degree-2 polynomial *per query* (all
-    committed before r_j is revealed); the verifier maintains one running
-    check per query.  Communication: 3·|queries| words per round plus the
-    shared challenges, attributed per query on the channel
-    (:meth:`repro.comm.channel.Channel.query_cost`).
+    The RANGE-SUM-only face of :func:`run_batched_sumcheck`, kept for
+    the original Section 7 interface: per round the prover sends one
+    degree-2 polynomial per query, communication is 3·|queries| words
+    per round plus the shared challenges, attributed per query on the
+    channel (:meth:`repro.comm.channel.Channel.query_cost`).
 
     ``prover`` is a :class:`~repro.core.range_sum.RangeSumProver` (its
     frequency vector is wrapped in a local
     :class:`BatchRangeSumProver`) or any object with the batch-prover
-    interface itself — ``receive_queries`` / ``round_messages`` /
-    ``receive_challenge`` — such as the service layer's remote proxy.
+    interface itself — such as the service layer's remote proxy.
     """
     ch = channel or Channel()
-    field = verifier.field
-    p = field.p
-    d = verifier.d
-
     for lo, hi in queries:
         if not 0 <= lo <= hi < verifier.size:
             raise ValueError("query range [%d, %d] invalid" % (lo, hi))
@@ -200,69 +623,11 @@ def run_batch_range_sum(
         engine = BatchRangeSumProver.from_range_sum_prover(
             prover, backend=backend
         )
-    engine.receive_queries(queries)
-
-    # Each query's range announcement is charged to that query, so
-    # Channel.query_cost stays directly comparable to a standalone run.
-    for q, (lo, hi) in enumerate(queries):
-        ch.verifier_says(0, "q%d-range" % q, [lo, hi], query=q)
-
-    claimed: List[Optional[int]] = [None] * len(queries)
-    previous: List[Optional[int]] = [None] * len(queries)
-    failed: List[Optional[str]] = [None] * len(queries)
-
-    for j in range(d):
-        # The prover commits every query's round polynomial first.
-        messages = engine.round_messages()
-        deliveries: List[Optional[List[int]]] = [None] * len(queries)
-        for q, msg in enumerate(messages):
-            delivered = ch.prover_says(j, "q%d-g%d" % (q, j + 1), msg,
-                                       query=q)
-            if failed[q] is not None:
-                continue
-            if len(delivered) != 3:
-                failed[q] = "round %d: malformed message" % j
-                continue
-            evals = [v % p for v in delivered]
-            round_sum = (evals[0] + evals[1]) % p
-            if j == 0:
-                claimed[q] = round_sum
-            elif round_sum != previous[q]:
-                failed[q] = "round %d: sum-check invariant violated" % j
-                continue
-            deliveries[q] = evals
-        # One shared-weight interpolation pass covers every live query.
-        live = [q for q, evals in enumerate(deliveries) if evals is not None]
-        evaluated = evaluate_from_evals_batch(
-            field, [deliveries[q] for q in live], verifier.r[j]
-        )
-        for q, value in zip(live, evaluated):
-            previous[q] = value
-        # Reveal r_j and fold all tables.
-        if j < d - 1:
-            ch.verifier_says(j, "r%d" % (j + 1), [verifier.r[j]])
-        engine.receive_challenge(verifier.r[j])
-
-    results = []
-    fa_at_r = verifier.lde.value
-    for q, (lo, hi) in enumerate(queries):
-        if failed[q] is not None:
-            results.append(rejected(ch.transcript, failed[q],
-                                    verifier.space_words))
-            continue
-        fb_at_r = verifier.indicator_lde_at_r(lo, hi)
-        if previous[q] != fa_at_r * fb_at_r % p:
-            results.append(
-                rejected(
-                    ch.transcript,
-                    "query %d: final check failed" % q,
-                    verifier.space_words,
-                )
-            )
-        else:
-            results.append(accepted(ch.transcript, claimed[q],
-                                    verifier.space_words))
-    return results
+    return run_batched_sumcheck(
+        engine, verifier,
+        [batch_range_sum(lo, hi) for lo, hi in queries],
+        channel=ch, backend=backend,
+    )
 
 
 def amplified_protocol(

@@ -283,6 +283,32 @@ class ScalarBackend:
         field = self.field
         return [field.dot(row, weights) for row in stack]
 
+    def pair_line_stack(self, table, points: Sequence[int]):
+        """Stack of pair-line evaluations of a folded proof table.
+
+        Row ``c`` holds ``(1-c)·T[2t] + c·T[2t+1]`` for every pair ``t`` —
+        the lines a sum-check round polynomial is summed over, evaluated
+        at each requested point at once."""
+        p = self.p
+        out = []
+        for c in points:
+            c %= p
+            w0 = (1 - c) % p
+            out.append(
+                [
+                    (w0 * table[t] + c * table[t + 1]) % p
+                    for t in range(0, len(table), 2)
+                ]
+            )
+        return out
+
+    def rows_pow_sums(self, stack, e: int) -> List[int]:
+        """Per-row ``Σ row**e mod p`` of a stack (degree-k round sums)."""
+        if e < 0:
+            raise ValueError("rows_pow_sums needs a non-negative exponent")
+        field = self.field
+        return [sum(field.pow(v, e) for v in row) % self.p for row in stack]
+
     def rows_dot(self, stack, weights: Sequence[int]) -> List[int]:
         """Per-row inner product with a shared weight vector (the limb-dot
         counterpart of :meth:`VectorizedField.rows_dot`; identical results)."""
@@ -652,6 +678,39 @@ class VectorizedField:
         p = self.p
         return [t % p for t in totals]
 
+    def pair_line_stack(self, table, points: Sequence[int]):
+        """Stack of pair-line evaluations of a folded proof table.
+
+        One broadcast pass: row ``c`` is ``(1-c)·T[0::2] + c·T[1::2]``,
+        i.e. every pair-line of the table evaluated at point ``c``."""
+        table = (
+            table if isinstance(table, _np.ndarray) else self.asarray(table)
+        )
+        lo = table[0::2]
+        hi = table[1::2]
+        p = self.p
+        cs = self.asarray([int(c) % p for c in points]).reshape(-1, 1)
+        w0 = self.asarray([(1 - int(c)) % p for c in points]).reshape(-1, 1)
+        return self.add(self.mul(w0, lo), self.mul(cs, hi))
+
+    def rows_pow_sums(self, stack, e: int) -> List[int]:
+        """Per-row ``Σ row**e mod p`` by 2-D square-and-multiply."""
+        if e < 0:
+            raise ValueError("rows_pow_sums needs a non-negative exponent")
+        if self.dtype is object:
+            result = _np.empty(stack.shape, dtype=object)
+            result[:] = 1
+        else:
+            result = _np.ones(stack.shape, dtype=_np.uint64)
+        base = stack
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            e >>= 1
+            if e:
+                base = self.mul(base, base)
+        return self.row_sums(result)
+
     # -- aggregates ----------------------------------------------------------
 
     def sum(self, arr) -> int:
@@ -827,6 +886,55 @@ def f2_round_sums(backend: Backend, field: PrimeField, table) -> List[int]:
         g1 += hi * hi
         at2 = 2 * hi - lo
         g2 += at2 * at2
+    return [g0 % p, g1 % p, g2 % p]
+
+
+def fk_round_sums(backend: Backend, field: PrimeField, table, k: int) -> List[int]:
+    """[g(0), ..., g(k)] of the degree-k sum-check round polynomial.
+
+    ``g(c) = Σ_t ((1-c)·A[2t] + c·A[2t+1])^k``: the pair-lines of the
+    folded table are evaluated at all k+1 points as one stack
+    (:meth:`pair_line_stack`) whose per-row power sums
+    (:meth:`rows_pow_sums`) are the message.  Shared by the Fk prover and
+    the batched multi-query engine, on either backend.
+    """
+    if k < 1:
+        raise ValueError("moment order k must be >= 1, got %d" % k)
+    table = ensure_backend_array(backend, table)
+    lines = backend.pair_line_stack(table, range(k + 1))
+    return backend.rows_pow_sums(lines, k)
+
+
+def inner_product_round_sums(
+    backend: Backend, field: PrimeField, table_a, table_b
+) -> List[int]:
+    """[g(0), g(1), g(2)] with ``g(c) = Σ_t lineA_t(c) · lineB_t(c)``.
+
+    The two-table analogue of :func:`f2_round_sums` — three inner
+    products over the even/odd halves of both tables.  Shared by the
+    INNER-PRODUCT / RANGE-SUM provers and the batched multi-query
+    engine's shared-vector queries.
+    """
+    p = field.p
+    table_a = ensure_backend_array(backend, table_a)
+    table_b = ensure_backend_array(backend, table_b)
+    if getattr(backend, "vectorized", False):
+        a_lo, a_hi = table_a[0::2], table_a[1::2]
+        b_lo, b_hi = table_b[0::2], table_b[1::2]
+        a_at2 = backend.sub(backend.add(a_hi, a_hi), a_lo)
+        b_at2 = backend.sub(backend.add(b_hi, b_hi), b_lo)
+        return [
+            backend.dot(a_lo, b_lo),
+            backend.dot(a_hi, b_hi),
+            backend.dot(a_at2, b_at2),
+        ]
+    g0 = g1 = g2 = 0
+    for t in range(0, len(table_a), 2):
+        a_lo, a_hi = table_a[t], table_a[t + 1]
+        b_lo, b_hi = table_b[t], table_b[t + 1]
+        g0 += a_lo * b_lo
+        g1 += a_hi * b_hi
+        g2 += (2 * a_hi - a_lo) * (2 * b_hi - b_lo)
     return [g0 % p, g1 % p, g2 % p]
 
 

@@ -173,6 +173,42 @@ class RemoteBatchRangeSumProver(_RemoteProverBase):
         self._call(sp.M_RECEIVE_CHALLENGE, [r])
 
 
+class RemoteBatchedSumcheckProver(_RemoteProverBase):
+    """Heterogeneous batched engine behind the wire (mixed direct-sum).
+
+    The client knows each batch member's degree from the descriptors it
+    sent, so the flattened per-round reply splits back into one
+    committed polynomial per query — degree-2 members read 3 words, an
+    Fk member k+1.
+    """
+
+    def __init__(self, client: "ServiceClient", ref: int):
+        super().__init__(client, ref)
+        self._degrees: List[int] = []
+
+    def receive_batch(self, queries) -> None:
+        flat: List[int] = []
+        self._degrees = []
+        for q in queries:
+            flat.extend(q.to_words())
+            self._degrees.append(q.degree)
+        self._call(sp.M_RECEIVE_BATCH, flat)
+
+    def round_messages(self) -> List[List[int]]:
+        words = self._call(sp.M_ROUND_MESSAGES)
+        out: List[List[int]] = []
+        cursor = 0
+        for degree in self._degrees:
+            out.append(words[cursor : cursor + degree + 1])
+            cursor += degree + 1
+        if cursor != len(words):
+            raise ServiceClientError("malformed batched round message")
+        return out
+
+    def receive_challenge(self, r: int) -> None:
+        self._call(sp.M_RECEIVE_CHALLENGE, [r])
+
+
 def _pairs(words: Sequence[int]) -> List[Tuple[int, int]]:
     if len(words) % 2 != 0:
         raise ServiceClientError("malformed pair list from the service")
@@ -182,16 +218,20 @@ def _pairs(words: Sequence[int]) -> List[Tuple[int, int]]:
 # -- verifier pools ------------------------------------------------------------
 
 
-class _InnerProductPool:
-    """Independent INNER-PRODUCT verifier copies (two-vector ingest)."""
+class _TwoVectorPool:
+    """Independent two-LDE verifier copies (two-vector ingest).
 
-    def __init__(self, copies: int, field: PrimeField, u: int,
-                 rng: random.Random):
-        from repro.core.inner_product import InnerProductVerifier
+    Serves the ``("inner-product",)`` pool and the mixed-batch
+    ``("batch",)`` pool — both verifier families stream vector 0 into
+    ``lde_a`` and vector 1 into ``lde_b`` at one shared secret point.
+    """
 
+    def __init__(self, copies: int, pool_key: Tuple, field: PrimeField,
+                 u: int, rng: random.Random):
         self._fresh = [
-            InnerProductVerifier(field, u,
-                                 rng=random.Random(rng.getrandbits(64)))
+            QueryRouter.make_verifier(
+                pool_key, field, u, random.Random(rng.getrandbits(64))
+            )
             for _ in range(copies)
         ]
         self._vectorized = getattr(get_backend(field), "vectorized", False)
@@ -299,7 +339,7 @@ class ServiceClient:
         self.dataset_id = dataset_id
         self.tamper = tamper
         self._rng = rng or random.Random()
-        self._pools: Dict[Tuple, Union[_Pool, _InnerProductPool]] = {}
+        self._pools: Dict[Tuple, Union[_Pool, _TwoVectorPool]] = {}
         self.bytes_sent = 0
         self.bytes_received = 0
         self.frames_sent = 0
@@ -339,9 +379,9 @@ class ServiceClient:
             raise ValueError(
                 "pools must be provisioned before the stream starts"
             )
-        if key[0] == "inner-product":
-            self._pools[key] = _InnerProductPool(
-                copies, self.field, self.u, self._rng
+        if key[0] in ("inner-product", "batch"):
+            self._pools[key] = _TwoVectorPool(
+                copies, key, self.field, self.u, self._rng
             )
         else:
             self._pools[key] = _Pool(
@@ -517,7 +557,9 @@ class ServiceClient:
         )
 
         if unit.batched:
-            return RemoteBatchRangeSumProver(self, ref)
+            if {q.kind for q in unit.descriptors} == {KIND_RANGE_SUM}:
+                return RemoteBatchRangeSumProver(self, ref)
+            return RemoteBatchedSumcheckProver(self, ref)
         kind = unit.descriptors[0].kind
         if kind in TREE_KINDS:
             return RemoteTreeProver(self, ref)

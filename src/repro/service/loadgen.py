@@ -124,8 +124,13 @@ def run_load(
         "received": 0,
     }
     failures: List[str] = []
-    pool_spec = {QueryRouter.verifier_pool_key(q) for q in queries}
+    # Pools follow the *plan*, not the raw descriptors: a mixed
+    # sum-check batch consumes one copy from the ("batch",) pool
+    # instead of one per family.
     plan_units = QueryRouter.plan(queries)
+    pool_spec: Dict = {}
+    for unit in plan_units:
+        pool_spec[unit.pool_key] = pool_spec.get(unit.pool_key, 0) + 1
 
     def one_session(index: int) -> None:
         rng = random.Random(seed * 10007 + index)
@@ -140,11 +145,8 @@ def run_load(
                 rng=rng,
             )
             with client:
-                for key in pool_spec:
+                for key, copies in pool_spec.items():
                     # One copy per plan unit drawing from this pool.
-                    copies = sum(
-                        1 for unit in plan_units if unit.pool_key == key
-                    )
                     client.provision(key, copies)
                 if shared_dataset and client.missed_updates:
                     client.replay_missed()

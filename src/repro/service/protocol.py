@@ -80,7 +80,8 @@ M_FOLD_CHALLENGE = 0x07     # (r) -> next level's flattened siblings
 M_CLAIM = 0x08              # (arg) -> (flag, key) claim
 M_RECEIVE_RANDOMNESS = 0x09  # (r, s) -> []  (heavy hitters)
 M_RECEIVE_QUERIES = 0x0A    # (lo1, hi1, ...) -> []  (batched range-sum)
-M_ROUND_MESSAGES = 0x0B     # () -> 3 words per query  (batched range-sum)
+M_ROUND_MESSAGES = 0x0B     # () -> per-query round polynomials, flattened
+M_RECEIVE_BATCH = 0x0C      # BatchQuery words -> []  (heterogeneous batch)
 
 
 class ServiceProtocolError(WireFormatError):

@@ -36,7 +36,18 @@ from repro.core.inner_product import (
     run_inner_product,
 )
 from repro.core.k_largest import KLargestProver, k_largest_query
-from repro.core.multiquery import BatchRangeSumProver, run_batch_range_sum
+from repro.core.multiquery import (
+    BatchQuery,
+    BatchRangeSumProver,
+    BatchedSumcheckEngine,
+    BatchedSumcheckVerifier,
+    batch_f2,
+    batch_fk,
+    batch_inner_product,
+    batch_range_sum as core_batch_range_sum,
+    run_batch_range_sum,
+    run_batched_sumcheck,
+)
 from repro.core.range_sum import RangeSumProver, RangeSumVerifier, run_range_sum
 from repro.core.reporting import (
     ReportingProver,
@@ -93,6 +104,39 @@ TREE_KINDS = frozenset(
     [KIND_POINT_LOOKUP, KIND_RANGE_SCAN, KIND_K_LARGEST,
      KIND_PREDECESSOR, KIND_SUCCESSOR]
 )
+
+#: The sum-check family: descriptors of these kinds share one
+#: heterogeneous direct-sum execution (Section 7) through the
+#: :class:`~repro.core.multiquery.BatchedSumcheckEngine` — except an F2
+#: descriptor that requests worker-pool execution, which keeps its own
+#: prover.
+SUMCHECK_KINDS = frozenset(
+    [KIND_RANGE_SUM, KIND_F2, KIND_FK, KIND_INNER_PRODUCT]
+)
+
+
+def _batchable(descriptor: QueryDescriptor) -> bool:
+    """Can this descriptor join a direct-sum batched execution?"""
+    kind = descriptor.kind
+    if kind not in SUMCHECK_KINDS:
+        return False
+    if kind == KIND_F2 and descriptor.params and descriptor.params[0]:
+        return False  # worker-pool F2 runs on its own prover
+    return True
+
+
+def _to_batch_query(descriptor: QueryDescriptor) -> BatchQuery:
+    """The engine-level batch member for one service descriptor."""
+    kind = descriptor.kind
+    if kind == KIND_RANGE_SUM:
+        return core_batch_range_sum(*descriptor.params)
+    if kind == KIND_F2:
+        return batch_f2()
+    if kind == KIND_FK:
+        return batch_fk(descriptor.params[0])
+    if kind == KIND_INNER_PRODUCT:
+        return batch_inner_product()
+    raise RoutingError("kind %r cannot join a batched unit" % (kind,))
 
 
 class RoutingError(ValueError):
@@ -192,14 +236,26 @@ def successor(q: int) -> QueryDescriptor:
 
 @dataclass(frozen=True)
 class PlanUnit:
-    """One protocol execution: a batch of range-sums or a single query."""
+    """One protocol execution: a sum-check batch or a single query."""
 
     batched: bool
     descriptors: Tuple[QueryDescriptor, ...]
 
     @property
     def pool_key(self) -> Tuple:
-        return QueryRouter.verifier_pool_key(self.descriptors[0])
+        """The verifier pool this unit consumes one copy from.
+
+        A homogeneous batch keeps its family's pool (one RANGE-SUM
+        verifier serves an all-RANGE-SUM batch); a mixed batch draws
+        from the ``("batch",)`` pool of two-LDE
+        :class:`~repro.core.multiquery.BatchedSumcheckVerifier` copies.
+        """
+        keys = {
+            QueryRouter.verifier_pool_key(q) for q in self.descriptors
+        }
+        if len(keys) == 1:
+            return keys.pop()
+        return ("batch",)
 
 
 class QueryRouter:
@@ -211,19 +267,23 @@ class QueryRouter:
     def plan(descriptors: Sequence[QueryDescriptor]) -> List[PlanUnit]:
         """Group descriptors into executions.
 
-        Two or more RANGE-SUM descriptors share one direct-sum batched
-        run (one verifier copy, shared challenges — Section 7); every
-        other descriptor is a single-shot unit.  Order of the returned
-        units follows first appearance, so results can be re-matched to
-        the request order via the units' descriptors.
+        Two or more sum-check descriptors — RANGE-SUM, F2, Fk,
+        INNER-PRODUCT, in any mix — share one direct-sum batched run
+        (one verifier copy, one dataset digitisation, shared challenges
+        — Section 7) on the
+        :class:`~repro.core.multiquery.BatchedSumcheckEngine`; every
+        other descriptor (and worker-pool F2) is a single-shot unit.
+        Order of the returned units follows first appearance, so results
+        can be re-matched to the request order via the units'
+        descriptors.
         """
-        sums = [q for q in descriptors if q.kind == KIND_RANGE_SUM]
+        batchable = [q for q in descriptors if _batchable(q)]
         units: List[PlanUnit] = []
         batched_emitted = False
         for q in descriptors:
-            if q.kind == KIND_RANGE_SUM and len(sums) > 1:
+            if _batchable(q) and len(batchable) > 1:
                 if not batched_emitted:
-                    units.append(PlanUnit(True, tuple(sums)))
+                    units.append(PlanUnit(True, tuple(batchable)))
                     batched_emitted = True
                 continue
             units.append(PlanUnit(False, (q,)))
@@ -258,6 +318,8 @@ class QueryRouter:
         family = pool_key[0]
         if family == "tree":
             return TreeHashVerifier(field, u, rng=rng)
+        if family == "batch":
+            return BatchedSumcheckVerifier(field, u, rng=rng)
         if family == "range-sum":
             return RangeSumVerifier(field, u, rng=rng)
         if family == "f2":
@@ -289,9 +351,16 @@ class QueryRouter:
         descriptor = unit.descriptors[0]
         kind = descriptor.kind
         if unit.batched:
-            prover = BatchRangeSumProver(field, u)
-            prover.freq_a = list(freq_a)
-            return prover
+            kinds = {q.kind for q in unit.descriptors}
+            if kinds == {KIND_RANGE_SUM}:
+                prover = BatchRangeSumProver(field, u)
+                prover.freq_a = list(freq_a)
+                return prover
+            for q in unit.descriptors:
+                _to_batch_query(q)  # raises RoutingError on a bad mix
+            return BatchedSumcheckEngine.from_vectors(
+                field, u, freq_a, freq_b
+            )
         if kind == KIND_RANGE_SUM:
             prover = RangeSumProver(field, u)
             prover.freq_a = list(freq_a)
@@ -351,8 +420,12 @@ class QueryRouter:
         descriptor = unit.descriptors[0]
         kind = descriptor.kind
         if unit.batched:
-            queries = [q.params for q in unit.descriptors]
-            return run_batch_range_sum(prover, verifier, queries, ch)
+            kinds = {q.kind for q in unit.descriptors}
+            if kinds == {KIND_RANGE_SUM}:
+                queries = [q.params for q in unit.descriptors]
+                return run_batch_range_sum(prover, verifier, queries, ch)
+            batch = [_to_batch_query(q) for q in unit.descriptors]
+            return run_batched_sumcheck(prover, verifier, batch, ch)
         if kind == KIND_POINT_LOOKUP:
             return index_query(prover, verifier, descriptor.params[0], ch)
         if kind == KIND_RANGE_SCAN:

@@ -389,6 +389,15 @@ class ProverServer:
             ]
             prover.receive_queries(queries)
             return []
+        if method == sp.M_RECEIVE_BATCH:
+            from repro.core.multiquery import BatchQuery
+
+            try:
+                batch = BatchQuery.parse_many(args)
+            except ValueError as exc:
+                raise ServiceError("bad batch query words: %s" % exc) from exc
+            prover.receive_batch(batch)
+            return []
         if method == sp.M_ROUND_MESSAGES:
             out: List[int] = []
             for message in prover.round_messages():

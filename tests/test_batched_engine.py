@@ -1,0 +1,427 @@
+"""The differential + adversarial harness behind the batched engine.
+
+The generic :class:`~repro.core.multiquery.BatchedSumcheckEngine` changes
+prover hot paths without being allowed to change a single transcript
+byte, so this suite is the engine's spec:
+
+* *differential* — hypothesis-driven property tests assert that every
+  member of a heterogeneous F2/Fk/INNER-PRODUCT/RANGE-SUM batch produces
+  a transcript byte-identical to the corresponding standalone one-query
+  run (same verifier point, same challenges), on both the scalar and the
+  vectorized backend, including the empty-batch and single-query
+  degenerate paths;
+* *adversarial* — a prover cheating on exactly one query inside a mixed
+  batch is rejected for that query while the honest members of the same
+  batch still verify (the Section 7 direct-sum guarantee, per query).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.cheating_provers import PerQueryCheatingBatchEngine
+from repro.comm.channel import Channel
+from repro.core.f2 import F2Prover, F2Verifier, run_f2
+from repro.core.fk import FkProver, FkVerifier, run_fk
+from repro.core.inner_product import (
+    InnerProductProver,
+    InnerProductVerifier,
+    run_inner_product,
+)
+from repro.core.multiquery import (
+    BATCH_KIND_F2,
+    BATCH_KIND_FK,
+    BATCH_KIND_INNER_PRODUCT,
+    BATCH_KIND_RANGE_SUM,
+    BatchQuery,
+    BatchRangeSumProver,
+    BatchedSumcheckEngine,
+    BatchedSumcheckVerifier,
+    batch_f2,
+    batch_fk,
+    batch_inner_product,
+    batch_range_sum,
+    run_batch_range_sum,
+    run_batched_sumcheck,
+)
+from repro.core.range_sum import RangeSumProver, RangeSumVerifier, run_range_sum
+from repro.field.modular import DEFAULT_FIELD
+from repro.field.vectorized import HAVE_NUMPY, get_backend
+
+F = DEFAULT_FIELD
+
+BACKENDS = ["scalar"] + (["vectorized"] if HAVE_NUMPY else [])
+
+
+# -- strategies ----------------------------------------------------------------
+
+
+def updates_strategy(u, max_size=25):
+    return st.lists(
+        st.tuples(st.integers(0, u - 1), st.integers(-3, 5)),
+        max_size=max_size,
+    )
+
+
+def query_strategy(u):
+    ranges = st.tuples(st.integers(0, u - 1), st.integers(0, u - 1)).map(
+        lambda pair: batch_range_sum(min(pair), max(pair))
+    )
+    return st.one_of(
+        st.just(batch_f2()),
+        st.integers(1, 4).map(batch_fk),
+        st.just(batch_inner_product()),
+        ranges,
+    )
+
+
+def batch_case():
+    """(u, updates_a, updates_b, queries, point seed) tuples."""
+    return st.integers(3, 6).flatmap(
+        lambda log_u: st.tuples(
+            st.just(1 << log_u),
+            updates_strategy(1 << log_u),
+            updates_strategy(1 << log_u, max_size=12),
+            st.lists(query_strategy(1 << log_u), min_size=1, max_size=6),
+            st.integers(0, 2**32),
+        )
+    )
+
+
+# -- harness helpers -----------------------------------------------------------
+
+
+def build_batch_session(backend_name, u, updates_a, updates_b, point):
+    backend = get_backend(F, backend_name)
+    engine = BatchedSumcheckEngine(F, u, backend=backend)
+    verifier = BatchedSumcheckVerifier(F, u, point=point)
+    for i, delta in updates_a:
+        engine.process(i, delta)
+        verifier.process_a(i, delta)
+    for i, delta in updates_b:
+        engine.process_b(i, delta)
+        verifier.process_b(i, delta)
+    return engine, verifier, backend
+
+
+def run_standalone(query, backend_name, u, updates_a, updates_b, point):
+    """The corresponding one-query protocol run, same point/challenges."""
+    backend = get_backend(F, backend_name)
+    channel = Channel()
+    if query.kind == BATCH_KIND_F2:
+        prover = F2Prover(F, u, backend=backend)
+        verifier = F2Verifier(F, u, point=point)
+        for i, delta in updates_a:
+            prover.process(i, delta)
+            verifier.process(i, delta)
+        return run_f2(prover, verifier, channel), channel
+    if query.kind == BATCH_KIND_FK:
+        prover = FkProver(F, u, query.params[0], backend=backend)
+        verifier = FkVerifier(F, u, query.params[0], point=point)
+        for i, delta in updates_a:
+            prover.process(i, delta)
+            verifier.process(i, delta)
+        return run_fk(prover, verifier, channel), channel
+    if query.kind == BATCH_KIND_INNER_PRODUCT:
+        prover = InnerProductProver(F, u, backend=backend)
+        verifier = InnerProductVerifier(F, u, point=point)
+        for i, delta in updates_a:
+            prover.process_a(i, delta)
+            verifier.process_a(i, delta)
+        for i, delta in updates_b:
+            prover.process_b(i, delta)
+            verifier.process_b(i, delta)
+        return run_inner_product(prover, verifier, channel), channel
+    prover = RangeSumProver(F, u, backend=backend)
+    verifier = RangeSumVerifier(F, u, point=point)
+    for i, delta in updates_a:
+        prover.process(i, delta)
+        verifier.process(i, delta)
+    lo, hi = query.params
+    return run_range_sum(prover, verifier, lo, hi, channel), channel
+
+
+def per_query_view(channel, idx):
+    """One batch member's transcript, normalized to standalone labels.
+
+    Keeps the member's own messages (``q{idx}-range`` -> ``query``,
+    ``q{idx}-g{j}`` -> ``g{j}``) and the shared revealed challenges, in
+    transcript order — exactly the sequence a standalone run of that
+    query produces.
+    """
+    prefix = "q%d" % idx
+    view = []
+    for message in channel.transcript.messages:
+        label = message.label
+        if "-" in label:
+            own, rest = label.split("-", 1)
+            if own != prefix:
+                continue
+            label = "query" if rest == "range" else rest
+        elif not label.startswith("r"):
+            continue
+        view.append((message.sender, label, message.payload))
+    return view
+
+
+def standalone_view(channel):
+    return [
+        (m.sender, m.label, m.payload) for m in channel.transcript.messages
+    ]
+
+
+def true_answers(u, updates_a, updates_b, queries):
+    size = 1 << (u - 1).bit_length() if u > 1 else 1
+    freq_a = [0] * size
+    for i, delta in updates_a:
+        freq_a[i] += delta
+    freq_b = [0] * size
+    for i, delta in updates_b:
+        freq_b[i] += delta
+    p = F.p
+    out = []
+    for q in queries:
+        if q.kind == BATCH_KIND_F2:
+            out.append(sum(v * v for v in freq_a) % p)
+        elif q.kind == BATCH_KIND_FK:
+            out.append(sum(v ** q.params[0] for v in freq_a) % p)
+        elif q.kind == BATCH_KIND_INNER_PRODUCT:
+            out.append(sum(x * y for x, y in zip(freq_a, freq_b)) % p)
+        else:
+            lo, hi = q.params
+            out.append(sum(freq_a[lo : hi + 1]) % p)
+    return out
+
+
+# -- differential property tests -----------------------------------------------
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=batch_case())
+def test_batched_transcripts_byte_identical_to_standalone(backend_name, case):
+    """Every batch member's messages are byte-for-byte the standalone
+    run's messages, its result identical, and its per-query channel cost
+    exactly what the standalone run pays."""
+    u, updates_a, updates_b, queries, seed = case
+    d = (u - 1).bit_length()
+    point = F.rand_vector(random.Random(seed), d)
+
+    engine, verifier, backend = build_batch_session(
+        backend_name, u, updates_a, updates_b, point
+    )
+    channel = Channel()
+    results = run_batched_sumcheck(engine, verifier, queries, channel,
+                                   backend=backend)
+    assert len(results) == len(queries)
+    expected = true_answers(u, updates_a, updates_b, queries)
+    for idx, (query, result) in enumerate(zip(queries, results)):
+        assert result.accepted, (query.name, result.reason)
+        assert result.value == expected[idx]
+        single_result, single_channel = run_standalone(
+            query, backend_name, u, updates_a, updates_b, point
+        )
+        assert single_result.accepted
+        assert single_result.value == result.value
+        # Byte-identical per-query transcript...
+        assert per_query_view(channel, idx) == \
+            standalone_view(single_channel), query.name
+        # ...and cost accounting to the word: own messages plus the
+        # shared challenges the standalone run would repay.
+        assert channel.query_cost(idx) == \
+            single_channel.transcript.total_words
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs both backends")
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=batch_case())
+def test_batched_transcripts_identical_across_backends(case):
+    u, updates_a, updates_b, queries, seed = case
+    d = (u - 1).bit_length()
+    point = F.rand_vector(random.Random(seed), d)
+    transcripts = {}
+    values = {}
+    for backend_name in ("scalar", "vectorized"):
+        engine, verifier, backend = build_batch_session(
+            backend_name, u, updates_a, updates_b, point
+        )
+        channel = Channel()
+        results = run_batched_sumcheck(engine, verifier, queries, channel,
+                                       backend=backend)
+        transcripts[backend_name] = channel.transcript.messages
+        values[backend_name] = [r.value for r in results]
+    assert transcripts["scalar"] == transcripts["vectorized"]
+    assert values["scalar"] == values["vectorized"]
+
+
+# -- degenerate paths ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_empty_batch_is_a_no_op(backend_name):
+    engine, verifier, backend = build_batch_session(
+        backend_name, 16, [(3, 2)], [], F.rand_vector(random.Random(0), 4)
+    )
+    channel = Channel()
+    assert run_batched_sumcheck(engine, verifier, [], channel,
+                                backend=backend) == []
+    assert len(channel.transcript) == 0  # nothing hit the wire
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("query", [
+    batch_f2(), batch_fk(3), batch_inner_product(), batch_range_sum(2, 11),
+], ids=lambda q: q.name)
+def test_single_query_batch_matches_standalone(backend_name, query):
+    u = 32
+    rng = random.Random(5)
+    updates_a = [(rng.randrange(u), rng.randrange(-2, 5)) for _ in range(40)]
+    updates_b = [(rng.randrange(u), rng.randrange(3)) for _ in range(20)]
+    point = F.rand_vector(random.Random(6), 5)
+    engine, verifier, backend = build_batch_session(
+        backend_name, u, updates_a, updates_b, point
+    )
+    channel = Channel()
+    result = run_batched_sumcheck(engine, verifier, [query], channel,
+                                  backend=backend)[0]
+    single_result, single_channel = run_standalone(
+        query, backend_name, u, updates_a, updates_b, point
+    )
+    assert result.accepted and single_result.accepted
+    assert result.value == single_result.value
+    assert per_query_view(channel, 0) == standalone_view(single_channel)
+
+
+def test_wrapped_range_sum_path_unchanged():
+    """run_batch_range_sum still wraps a plain RangeSumProver onto the
+    engine, with the original transcript shape."""
+    u = 64
+    rng = random.Random(9)
+    updates = [(rng.randrange(u), rng.randrange(1, 5)) for _ in range(50)]
+    point = F.rand_vector(random.Random(10), 6)
+    prover = RangeSumProver(F, u)
+    verifier = RangeSumVerifier(F, u, point=point)
+    for i, delta in updates:
+        prover.process(i, delta)
+        verifier.process(i, delta)
+    channel = Channel()
+    results = run_batch_range_sum(prover, verifier, [(0, 9), (10, 63)],
+                                  channel)
+    assert all(r.accepted for r in results)
+
+    engine = BatchRangeSumProver(F, u)
+    engine.process_stream(updates)
+    verifier2 = RangeSumVerifier(F, u, point=point)
+    verifier2.process_stream(updates)
+    channel2 = Channel()
+    direct = run_batched_sumcheck(
+        engine, verifier2, [batch_range_sum(0, 9), batch_range_sum(10, 63)],
+        channel2,
+    )
+    assert channel.transcript.messages == channel2.transcript.messages
+    assert [r.value for r in results] == [r.value for r in direct]
+
+
+# -- validation ----------------------------------------------------------------
+
+
+def test_batch_query_validation_and_words():
+    with pytest.raises(ValueError):
+        BatchQuery(99, ())
+    with pytest.raises(ValueError):
+        batch_fk(0)
+    with pytest.raises(ValueError):
+        batch_range_sum(5, 4)
+    with pytest.raises(ValueError):
+        BatchQuery(BATCH_KIND_F2, (1,))
+    queries = [batch_f2(), batch_fk(3), batch_inner_product(),
+               batch_range_sum(2, 9)]
+    words = []
+    for q in queries:
+        words.extend(q.to_words())
+    assert BatchQuery.parse_many(words) == queries
+    with pytest.raises(ValueError):
+        BatchQuery.parse_many(words[:-1])  # truncated params
+    assert queries[1].degree == 3 and queries[3].degree == 2
+
+
+def test_engine_validates_usage():
+    engine = BatchedSumcheckEngine(F, 64)
+    with pytest.raises(RuntimeError):
+        engine.round_messages()
+    with pytest.raises(RuntimeError):
+        engine.receive_challenge(3)
+    with pytest.raises(ValueError):
+        engine.receive_batch([batch_range_sum(5, 90)])  # beyond the padding
+    with pytest.raises(TypeError):
+        engine.receive_batch([(0, 5)])  # not a BatchQuery
+    with pytest.raises(ValueError):
+        engine.process(64, 1)
+    with pytest.raises(ValueError):
+        engine.process_b(64, 1)
+
+
+def test_driver_requires_two_lde_verifier_for_inner_product():
+    engine = BatchedSumcheckEngine(F, 16)
+    verifier = RangeSumVerifier(F, 16, rng=random.Random(3))
+    with pytest.raises(ValueError, match="second-stream"):
+        run_batched_sumcheck(engine, verifier, [batch_inner_product()])
+    # F2/Fk/RANGE-SUM batches run fine on a single-LDE verifier.
+    results = run_batched_sumcheck(
+        engine, verifier, [batch_f2(), batch_range_sum(0, 15)]
+    )
+    assert all(r.accepted for r in results)
+
+
+# -- adversarial: one cheater inside a mixed batch -----------------------------
+
+
+MIXED_QUERIES = [batch_range_sum(0, 20), batch_f2(), batch_fk(3),
+                 batch_inner_product(), batch_range_sum(30, 50)]
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("style", ["claim", "adaptive"])
+@pytest.mark.parametrize("victim", range(len(MIXED_QUERIES)))
+def test_single_cheating_query_rejected_alone(backend_name, style, victim):
+    u = 64
+    rng = random.Random(20 + victim)
+    updates_a = [(rng.randrange(u), rng.randrange(1, 6)) for _ in range(60)]
+    updates_b = [(rng.randrange(u), rng.randrange(1, 4)) for _ in range(30)]
+    backend = get_backend(F, backend_name)
+    engine = PerQueryCheatingBatchEngine(F, u, cheat_query=victim,
+                                         offset=7, style=style,
+                                         backend=backend)
+    verifier = BatchedSumcheckVerifier(F, u, rng=random.Random(40 + victim))
+    for i, delta in updates_a:
+        engine.process(i, delta)
+        verifier.process_a(i, delta)
+    for i, delta in updates_b:
+        engine.process_b(i, delta)
+        verifier.process_b(i, delta)
+    results = run_batched_sumcheck(engine, verifier, MIXED_QUERIES)
+    expected = true_answers(u, updates_a, updates_b, MIXED_QUERIES)
+    for idx, result in enumerate(results):
+        if idx == victim:
+            assert not result.accepted
+            if style == "claim":
+                assert "invariant" in result.reason
+            else:
+                assert "final check" in result.reason
+        else:
+            assert result.accepted, (idx, result.reason)
+            assert result.value == expected[idx]
+
+
+def test_cheating_engine_validates_victim_index():
+    engine = PerQueryCheatingBatchEngine(F, 16, cheat_query=3)
+    with pytest.raises(ValueError):
+        engine.receive_batch([batch_f2()])
+    with pytest.raises(ValueError):
+        PerQueryCheatingBatchEngine(F, 16, style="nonsense")

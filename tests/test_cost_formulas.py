@@ -123,6 +123,60 @@ def test_space_words_property_matches_result():
     assert result.verifier_space_words == verifier.space_words
 
 
+def test_mixed_batch_exact_words():
+    """Heterogeneous batch of Q queries: channel words split into shared
+    + per-query terms matching the paper's communication bounds.
+
+    Shared: the d-1 revealed challenges, paid once for the whole batch.
+    Per query: d messages of (degree+1) words — 3 for F2/INNER-PRODUCT/
+    RANGE-SUM, k+1 for Fk — plus the 2-word range announcement for a
+    RANGE-SUM member.  query_cost(q) = own + shared is exactly what an
+    independent run of the same query pays.
+    """
+    from repro.comm.channel import Channel
+    from repro.core.multiquery import (
+        BatchedSumcheckEngine,
+        BatchedSumcheckVerifier,
+        batch_f2,
+        batch_fk,
+        batch_inner_product,
+        batch_range_sum,
+        run_batched_sumcheck,
+    )
+
+    u, d = 1 << 7, 7
+    k = 4
+    queries = [batch_range_sum(3, 90), batch_f2(), batch_fk(k),
+               batch_inner_product(), batch_range_sum(0, u - 1)]
+    engine = BatchedSumcheckEngine(F, u)
+    verifier = BatchedSumcheckVerifier(F, u, rng=random.Random(40))
+    for i, delta in [(3, 5), (77, 2), (90, 1)]:
+        engine.process(i, delta)
+        verifier.process_a(i, delta)
+    for i, delta in [(3, 4), (10, 1)]:
+        engine.process_b(i, delta)
+        verifier.process_b(i, delta)
+    channel = Channel()
+    results = run_batched_sumcheck(engine, verifier, queries, channel)
+    assert all(r.accepted for r in results)
+
+    # Shared words: the revealed challenges, once for the batch.
+    assert channel.shared_words == d - 1
+    # Per-query words follow each member's degree (+ range announcement).
+    expected_own = [2 + 3 * d, 3 * d, (k + 1) * d, 3 * d, 2 + 3 * d]
+    assert [channel.query_words[q] for q in range(len(queries))] == \
+        expected_own
+    # The split is exhaustive: own + shared = everything on the wire.
+    assert sum(expected_own) + channel.shared_words == \
+        channel.transcript.total_words
+    # query_cost matches the corresponding independent runs exactly
+    # (cf. test_f2_exact_words / test_fk_exact_words /
+    # test_range_sum_exact_words above).
+    assert channel.query_cost(1) == 3 * d + (d - 1)
+    assert channel.query_cost(2) == (k + 1) * d + (d - 1)
+    assert channel.query_cost(0) == 2 + 3 * d + (d - 1)
+
+
 def test_exponential_gap_headline():
     """The abstract's claim, quantified: at u = 2^16 the verifier uses
     ~22 words against a 65,536-entry vector — a >2900x space reduction

@@ -145,14 +145,26 @@ def test_descriptor_words_roundtrip():
 # -- router / planner ----------------------------------------------------------
 
 
-def test_plan_batches_multiple_range_sums():
+def test_plan_batches_the_sumcheck_family():
+    # Mixed sum-check kinds share one heterogeneous batched unit drawing
+    # from the ("batch",) two-LDE verifier pool.
     queries = [range_sum(0, 5), f2(), range_sum(2, 9), point_lookup(1)]
     units = QueryRouter.plan(queries)
-    assert [u.batched for u in units] == [True, False, False]
-    assert units[0].descriptors == (range_sum(0, 5), range_sum(2, 9))
-    # A lone range-sum stays single-shot.
-    units = QueryRouter.plan([range_sum(0, 5), f2()])
+    assert [u.batched for u in units] == [True, False]
+    assert units[0].descriptors == (range_sum(0, 5), f2(), range_sum(2, 9))
+    assert units[0].pool_key == ("batch",)
+    # A homogeneous batch keeps its family pool (and the legacy engine).
+    units = QueryRouter.plan([range_sum(0, 5), range_sum(2, 9),
+                              k_largest(1)])
+    assert [u.batched for u in units] == [True, False]
+    assert units[0].pool_key == ("range-sum",)
+    # A lone sum-check descriptor stays single-shot...
+    units = QueryRouter.plan([range_sum(0, 5), heavy_hitters(1, 8)])
     assert [u.batched for u in units] == [False, False]
+    # ...and worker-pool F2 keeps its own prover, outside any batch.
+    units = QueryRouter.plan([f2(workers=4), range_sum(0, 5), fk(3)])
+    assert [u.batched for u in units] == [False, True]
+    assert units[1].descriptors == (range_sum(0, 5), fk(3))
 
 
 def test_pool_keys_group_the_tree_family():
@@ -264,8 +276,9 @@ def test_session_lifecycle_connect_stream_query_verify(server):
     client = connect(server, u, fresh_dataset_id(), seed=21)
     with client:
         client.provision(("tree",), 3)
-        client.provision(("range-sum",), 1)
-        client.provision(("f2",), 1)
+        # range_sum + f2 plan onto one mixed batched unit: one two-LDE
+        # verifier copy serves both.
+        client.provision(("batch",), 1)
         client.send_updates(list(store.updates()))
 
         some_key, some_val = pairs[0]
@@ -284,11 +297,12 @@ def test_session_lifecycle_connect_stream_query_verify(server):
         assert outcomes[0].result.value == some_val + 1
         assert outcomes[1].result.value == store.range_value_sum(0, u - 1) \
             + len(store)  # +1 per present key from the encoding
-        # Each single-shot query consumed one copy from its pool.
+        # Every query consumed one copy from its pool (the batched unit
+        # one copy for both of its members).
         assert client.pool_remaining(("tree",)) == 0
-        assert client.pool_remaining(("range-sum",)) == 0
-        # The server counted all five plan units (global counter).
-        assert client.stats()["queries_served"] >= 5
+        assert client.pool_remaining(("batch",)) == 0
+        # The server counted all four plan units (global counter).
+        assert client.stats()["queries_served"] >= 4
 
 
 def test_field_mismatch_refused(server):
@@ -366,6 +380,76 @@ def test_batched_range_sums_share_one_verifier_copy(server):
         assert client.pool_remaining(("range-sum",)) == 0
         # ...and the batch shared its wire frames across the queries.
         assert outcomes[0].cost.frames == outcomes[1].cost.frames
+
+
+def test_mixed_batch_over_the_wire(server):
+    """A mixed service request — RANGE-SUM + F2 + Fk + INNER-PRODUCT —
+    plans onto one engine run: one verifier copy, one prover, shared
+    frames, every member verified against the dataset."""
+    u = 256
+    client = connect(server, u, fresh_dataset_id(), seed=9)
+    with client:
+        client.provision(("batch",), 1)
+        stream = uniform_frequency_stream(u, max_frequency=9,
+                                          rng=random.Random(15))
+        updates = list(stream.updates())
+        client.send_updates(updates)
+        updates_b = [(i, 1 + i % 3) for i in range(0, u, 7)]
+        client.send_updates(updates_b, vector=1)
+
+        descriptors = [range_sum(0, 100), f2(), fk(3), inner_product(),
+                       range_sum(101, 255)]
+        outcomes = client.query(*descriptors)
+        for outcome in outcomes:
+            assert outcome.result.accepted, (
+                outcome.descriptor.name, outcome.result.reason
+            )
+        freq_b = [0] * u
+        for i, delta in updates_b:
+            freq_b[i] += delta
+        sparse = stream.sparse_frequencies()
+        assert outcomes[0].result.value == stream.range_sum(0, 100) % F.p
+        assert outcomes[1].result.value == stream.self_join_size() % F.p
+        assert outcomes[2].result.value == stream.frequency_moment(3) % F.p
+        assert outcomes[3].result.value == sum(
+            f * freq_b[i] for i, f in sparse.items()
+        ) % F.p
+        # One batched unit: a single two-LDE copy served all five...
+        assert client.pool_remaining(("batch",)) == 0
+        # ...over one shared set of wire frames.
+        assert len({o.cost.frames for o in outcomes}) == 1
+        # Per-query words: an Fk member pays (k+1)·d + shared, a
+        # degree-2 member 3·d (+2 for a range announcement) + shared.
+        d = client.d
+        assert outcomes[2].cost.transcript_words == 4 * d + (d - 1)
+        assert outcomes[0].cost.transcript_words == 2 + 3 * d + (d - 1)
+
+
+def test_batched_cheating_prover_rejected_per_query_over_the_wire():
+    """A service prover cheating on exactly one member of a mixed batch
+    is rejected for that member — the honest members of the same batch
+    still verify behind the real wire."""
+    from repro.adversary.cheating_provers import PerQueryCheatingBatchEngine
+
+    updates = [(i % 32, 1 + i % 4) for i in range(96)]
+
+    def cheat_on_f2_member(unit, prover, dataset):
+        if not unit.batched:
+            return None
+        cheat = PerQueryCheatingBatchEngine(F, dataset.u, cheat_query=1,
+                                            offset=5)
+        cheat.freq_a = list(prover.freq_a)
+        cheat.freq_b = list(prover.freq_b)
+        return cheat
+
+    outcomes = run_against_cheating_server(
+        cheat_on_f2_member, {("batch",): 1},
+        [range_sum(0, 50), f2(), fk(2)], updates, u=64,
+    )
+    assert not outcomes[1].result.accepted
+    assert "final check" in outcomes[1].result.reason
+    for idx in (0, 2):
+        assert outcomes[idx].result.accepted, outcomes[idx].result.reason
 
 
 def test_server_refuses_resource_abuse(server):
@@ -631,8 +715,8 @@ def test_end_to_end_kvstore_demo_over_the_wire(server):
     client = connect(server, u, fresh_dataset_id(), seed=101)
     with client:
         client.provision(("tree",), 4)
-        client.provision(("range-sum",), 1)
-        client.provision(("f2",), 1)
+        # The two range-sums and the F2 plan onto one mixed batch.
+        client.provision(("batch",), 1)
         client.provision(("heavy-hitters", phi_num, phi_den), 1)
         client.send_updates(updates)
         assert client.updates_streamed == n_pairs

@@ -143,3 +143,60 @@ def test_worker_pool_wallclock_speedup(service_bench_recorder):
         assert speedup > 1.5, (
             "worker pool only %.2fx faster on %d cores" % (speedup, cores)
         )
+
+
+def test_service_chaos_throughput(server, service_bench_recorder):
+    """The loadgen pointed through a 10% fault-rate chaos proxy.
+
+    The acceptance bar from the fault-tolerance work: every query still
+    verifies with *zero* client-visible protocol errors — the report's
+    retry/refusal/reconnect tallies and p50/p99 latency land in
+    ``BENCH_service.json`` so the cost of riding out faults is tracked
+    alongside the clean-path throughput.
+    """
+    from repro.service import ChaosProxy, RetryPolicy
+    from repro.service.faults import (
+        KIND_CORRUPT,
+        KIND_DELAY,
+        KIND_DROP,
+        SeededSchedule,
+    )
+
+    if service_smoke():
+        u, sessions, updates, concurrency = 1 << 8, 2, 60, 2
+    else:
+        u, sessions, updates, concurrency = 1 << 12, 6, 1000, 3
+    # 10% of frames faulted; mostly delays, with genuinely disruptive
+    # drops/corruption on ~2% of frames.
+    schedule = SeededSchedule(
+        seed=3, rate=0.10, kinds=(KIND_DELAY,) * 8 + (KIND_DROP, KIND_CORRUPT),
+        delay=0.001, stall=0.05,
+    )
+    proxy = ChaosProxy(*server.address, schedule=schedule)
+    handle = proxy.serve_in_thread()
+    try:
+        host, port = handle.address
+        report = run_load(
+            host, port, F, u, sessions=sessions,
+            updates_per_session=updates, concurrency=concurrency, seed=9,
+            dataset_base=500,
+            client_kwargs={
+                "retry": RetryPolicy(max_attempts=40, base_delay=0.003,
+                                     max_delay=0.02),
+                "op_timeout": 10.0,
+            },
+        )
+    finally:
+        handle.stop()
+    assert not report.failures, report.failures
+    assert report.queries_verified == report.queries_run
+    assert proxy.faults_injected > 0
+    record = {"measure": "service_load_chaos", "u": u,
+              "concurrency": concurrency, "fault_rate": 0.10,
+              "faults_injected": proxy.faults_injected,
+              **report.as_record()}
+    service_bench_recorder.append(record)
+    print("\nchaos load: %d faults, %d retries, %d reconnects, "
+          "p50 %.3fs p99 %.3fs, %d errors"
+          % (proxy.faults_injected, report.retries, report.reconnects,
+             report.p50_latency, report.p99_latency, len(report.failures)))

@@ -56,11 +56,24 @@ def encode_words(field: PrimeField, words: Sequence[int]) -> bytes:
     return bytes(out)
 
 
-def decode_words(field: PrimeField, frame: bytes) -> List[int]:
-    """Inverse of :func:`encode_words`; raises WireFormatError on damage."""
+def decode_words(field: PrimeField, frame: bytes,
+                 max_words: int = MAX_MESSAGE_WORDS) -> List[int]:
+    """Inverse of :func:`encode_words`; raises WireFormatError on damage.
+
+    The declared word count is validated against ``max_words`` (and the
+    global :data:`MAX_MESSAGE_WORDS` cap) *before* any per-word work, so
+    a malformed length prefix is rejected without allocating: the prefix
+    is parsed unsigned, hence a "negative" length from a damaged peer
+    arrives as a huge count and dies on the same check.
+    """
     if len(frame) < 4:
         raise WireFormatError("frame shorter than its length prefix")
     count = int.from_bytes(frame[:4], "big")
+    if count > min(max_words, MAX_MESSAGE_WORDS):
+        raise WireFormatError(
+            "declared word count %d exceeds the %d-word cap"
+            % (count, min(max_words, MAX_MESSAGE_WORDS))
+        )
     width = word_width(field)
     expected = 4 + count * width
     if len(frame) != expected:
@@ -184,6 +197,14 @@ def decode_transcript(field: PrimeField, data: bytes) -> Transcript:
             % (data[5], word_width(field))
         )
     count = int.from_bytes(data[6:10], "big")
+    # Each message occupies at least 10 bytes (sender, round, empty
+    # label, empty word frame): a count the data cannot possibly hold is
+    # rejected before the decode loop rather than discovered mid-way.
+    if 10 * count > len(data) - 10:
+        raise WireFormatError(
+            "declared message count %d exceeds what %d bytes can hold"
+            % (count, len(data))
+        )
     offset = 10
     transcript = Transcript()
     for _ in range(count):

@@ -23,15 +23,20 @@ powerful server and verifying its answers):
 """
 
 from repro.service.client import (
+    NO_RETRY,
     QueryCost,
     QueryOutcome,
+    RetryPolicy,
+    ServiceBusyError,
     ServiceClient,
     ServiceClientError,
+    ServiceUnavailableError,
 )
+from repro.service.faults import ChaosProxy, Fault, FaultSchedule
 from repro.service.loadgen import LoadReport, run_load
-from repro.service.pool import PooledDistributedF2Prover
+from repro.service.pool import PoolConfigError, PooledDistributedF2Prover
 from repro.service.protocol import ServiceProtocolError
-from repro.service.registry import SessionRegistry
+from repro.service.registry import AdmissionError, SessionRegistry
 from repro.service.router import (
     QueryDescriptor,
     QueryRouter,
@@ -50,18 +55,27 @@ from repro.service.router import (
 from repro.service.server import ProverServer, ServiceError
 
 __all__ = [
+    "AdmissionError",
+    "ChaosProxy",
+    "Fault",
+    "FaultSchedule",
     "LoadReport",
+    "NO_RETRY",
+    "PoolConfigError",
     "PooledDistributedF2Prover",
     "ProverServer",
     "QueryCost",
     "QueryDescriptor",
     "QueryOutcome",
     "QueryRouter",
+    "RetryPolicy",
     "RoutingError",
+    "ServiceBusyError",
     "ServiceClient",
     "ServiceClientError",
     "ServiceError",
     "ServiceProtocolError",
+    "ServiceUnavailableError",
     "SessionRegistry",
     "f2",
     "fk",

@@ -17,12 +17,15 @@ additionally meters raw bytes per query (:class:`QueryOutcome.cost`).
 
 from __future__ import annotations
 
+import copy
 import random
 import socket
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.comm.channel import Channel, TamperHook
+from repro.comm.transcript import Transcript
 from repro.core.base import VerificationResult, pow2_dimension
 from repro.core.multiquery import IndependentCopies
 from repro.field.modular import PrimeField
@@ -39,6 +42,66 @@ from repro.service.router import (
 
 class ServiceClientError(RuntimeError):
     """The service refused a request (its T_ERROR message)."""
+
+
+class ServiceUnavailableError(ServiceClientError):
+    """The transport failed mid-conversation (reset, timeout, damage).
+
+    Raised instead of leaking raw OS errors: callers get the session id
+    and the last operation the server acknowledged, which is exactly
+    what a retry needs to resume idempotently.
+    """
+
+    def __init__(self, message: str, session_id: int = 0,
+                 last_acked: str = ""):
+        detail = message
+        if session_id:
+            detail += " (session %d" % session_id
+            detail += ", last acked: %s)" % last_acked if last_acked else ")"
+        super().__init__(detail)
+        self.session_id = session_id
+        self.last_acked = last_acked
+
+
+class ServiceBusyError(ServiceClientError):
+    """A clean server refusal (admission control or rate limit).
+
+    The connection is healthy; the request should be retried after
+    backoff without reconnecting.
+    """
+
+    def __init__(self, message: str, code: int = sp.E_BUSY):
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and (seeded) jitter.
+
+    Delays follow ``base_delay * multiplier^attempt`` capped at
+    ``max_delay``; ``jitter`` subtracts a random fraction of the delay so
+    a fleet of clients retrying the same outage does not stampede in
+    lockstep.  The jitter draws from the client's own seeded RNG, keeping
+    chaos-test runs deterministic.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        raw = min(self.base_delay * self.multiplier ** attempt,
+                  self.max_delay)
+        if self.jitter:
+            raw *= 1.0 - self.jitter * rng.random()
+        return raw
+
+
+#: Retries disabled: one attempt, failures surface immediately.
+NO_RETRY = RetryPolicy(max_attempts=1)
 
 
 @dataclass(frozen=True)
@@ -59,11 +122,18 @@ class QueryCost:
 
 @dataclass(frozen=True)
 class QueryOutcome:
-    """One verified answer plus its channel/frame cost."""
+    """One verified answer plus its channel/frame cost.
+
+    ``transcript`` is the conversation that produced the verdict — the
+    byte-identity anchor of the chaos tests: a query retried across
+    connection drops must reproduce the fault-free transcript exactly.
+    """
 
     descriptor: QueryDescriptor
     result: VerificationResult
     cost: QueryCost
+    transcript: Optional[Transcript] = dataclass_field(default=None,
+                                                      compare=False)
 
 
 # -- remote prover proxies -----------------------------------------------------
@@ -319,6 +389,20 @@ class ServiceClient:
         Optional :class:`~repro.comm.channel.TamperHook` installed on
         every query channel (models a corrupted network for soundness
         experiments).
+    timeout:
+        Connect timeout (seconds).
+    op_timeout:
+        Per-operation deadline: every socket send/recv must complete
+        within this many seconds or the operation fails with
+        :class:`ServiceUnavailableError` (and, under a retry policy, is
+        retried on a fresh connection).
+    retry:
+        :class:`RetryPolicy` for transparent recovery from transport
+        faults and busy refusals.  Pass :data:`NO_RETRY` to surface
+        every failure immediately.
+    max_payload:
+        Frame-size knob enforced on every received header before
+        allocating (mirrors the server's).
     """
 
     def __init__(
@@ -332,6 +416,9 @@ class ServiceClient:
         rng: Optional[random.Random] = None,
         tamper: Optional[TamperHook] = None,
         timeout: float = 30.0,
+        op_timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        max_payload: int = sp.MAX_PAYLOAD,
     ):
         self.field = field
         self.u = u
@@ -345,22 +432,93 @@ class ServiceClient:
         self.frames_sent = 0
         self.frames_received = 0
         self.updates_streamed = 0
+        self._host = host
+        self._port = port
+        self._connect_timeout = timeout
+        self.op_timeout = op_timeout
+        self.retry = retry or RetryPolicy()
+        self.max_payload = max_payload
+        #: Jitter draws come from a derived RNG, not ``self._rng``: a
+        #: retry must never shift the verifier-pool seed sequence, or a
+        #: faulted run's pools would diverge from a fault-free run's and
+        #: byte-identical recovery would be unfalsifiable.
+        self._retry_rng = random.Random(self._rng.getrandbits(64))
+        #: Transport retries performed (reconnect + replay of an op).
+        self.retries = 0
+        #: Busy/rate-limit refusals absorbed by backoff.
+        self.refusals = 0
+        self.reconnects = 0
+        #: Last operation the server acknowledged (for error context).
+        self._last_acked = "connect"
+        self._sock: Optional[socket.socket] = None
+        #: The dataset's server-side update total as last acknowledged —
+        #: the idempotence anchor: a resent block whose updates the
+        #: server already counted is skipped, not double-applied.
+        self._server_updates = 0
 
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        reply_type, session_id, payload = self._request(
-            sp.T_HELLO, 0, sp.hello_payload(field, u, dataset_id),
-            expect=sp.T_HELLO_ACK,
-        )
-        self.session_id = session_id
-        words = sp.parse_words(field, payload)
+        # The opening dial honours the retry policy too: no state exists
+        # yet, so re-dialling after a transport fault is trivially safe.
+        dials = 0
+        while True:
+            try:
+                self._connect()
+                break
+            except ServiceUnavailableError:
+                dials += 1
+                if dials >= self.retry.max_attempts:
+                    raise
+                self.retries += 1
+                time.sleep(self.retry.delay(dials - 1, self._retry_rng))
         #: Updates the dataset already held when this session joined —
         #: fetch them with :meth:`replay_missed` before provisioning can
         #: be considered caught up.
-        self.missed_updates = words[0] if words else 0
+        self.missed_updates = self._server_updates
         if provision:
             for key, copies in provision.items():
                 self.provision(key, copies)
+
+    # -- connection lifecycle ------------------------------------------------
+
+    def _connect(self) -> None:
+        """Dial the service and open a session on the dataset."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        try:
+            self._sock = socket.create_connection(
+                (self._host, self._port), timeout=self._connect_timeout
+            )
+        except OSError as exc:
+            raise self._unavailable("dial failed: %s" % exc) from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.settimeout(self.op_timeout)
+        _t, session_id, payload = self._request(
+            sp.T_HELLO, 0,
+            sp.hello_payload(self.field, self.u, self.dataset_id),
+            expect=sp.T_HELLO_ACK,
+        )
+        self.session_id = session_id
+        words = sp.parse_words(self.field, payload)
+        self._server_updates = words[0] if words else 0
+        self._last_acked = "hello"
+
+    def reconnect(self, host: Optional[str] = None,
+                  port: Optional[int] = None) -> None:
+        """Re-dial (optionally a new address) and resume this session.
+
+        The new connection gets a fresh server-side session id attached
+        to the *same dataset*; verifier pools, streamed state and
+        fingerprints all live client-side, so nothing else changes.
+        """
+        if host is not None:
+            self._host = host
+        if port is not None:
+            self._port = port
+        self._connect()
+        self.reconnects += 1
 
     # -- provisioning --------------------------------------------------------
 
@@ -419,13 +577,37 @@ class ServiceClient:
             chunk = pairs[start : start + block]
             for pool in self._pools.values():
                 pool.feed(chunk, vector)
-            self._request(
+            self._send_block(vector, chunk)
+            self.updates_streamed += len(chunk)
+
+    def _send_block(self, vector: int, chunk) -> None:
+        """One UPDATES frame, retried idempotently.
+
+        If the frame was applied but its ack lost (connection dropped in
+        between), the reconnect's HELLO reports a dataset total that
+        already covers this block — the retry then *skips* the resend
+        instead of double-applying.  The reconciliation assumes this
+        session is the dataset's only writer during its own retry
+        window (true for per-session datasets; shared datasets have a
+        single writer by construction in the load generator).
+        """
+        target = self._server_updates + len(chunk)
+
+        def attempt() -> None:
+            _t, _s, payload = self._request(
                 sp.T_UPDATES,
                 self.session_id,
                 sp.updates_payload(self.field, vector, chunk),
                 expect=sp.T_UPDATES_ACK,
             )
-            self.updates_streamed += len(chunk)
+            words = sp.parse_words(self.field, payload)
+            self._server_updates = words[0] if words else target
+            self._last_acked = "updates@%d" % self._server_updates
+
+        def already_done() -> bool:
+            return self._server_updates >= target
+
+        self._with_retries(attempt, "updates", already_done=already_done)
 
     def put(self, key: int, delta: int, vector: int = 0) -> None:
         self.send_updates([(key, delta)], vector=vector)
@@ -447,29 +629,40 @@ class ServiceClient:
                 "replay after streaming would double-count the %d updates "
                 "this session already processed" % self.updates_streamed
             )
-        self._send(sp.pack_frame(
-            sp.T_REPLAY_REQUEST,
-            self.session_id,
-            sp.words_payload(self.field, [0]),
-        ))
-        replayed = 0
-        while True:
-            frame_type, _session, payload = self._recv()
-            if frame_type == sp.T_ERROR:
-                raise ServiceClientError(sp.parse_error(payload))
-            if frame_type == sp.T_REPLAY_END:
-                break
-            if frame_type != sp.T_REPLAY_DATA:
-                raise ServiceClientError(
-                    "unexpected frame 0x%02x during replay" % frame_type
-                )
-            vector, pairs = sp.parse_updates(self.field, payload)
-            for pool in self._pools.values():
-                pool.feed(pairs, vector)
-            replayed += len(pairs)
-            self.updates_streamed += len(pairs)
+        replayed = [0]
+
+        def attempt() -> None:
+            # Resume from the number of updates already fed through the
+            # pools: a mid-replay disconnect re-requests only the tail,
+            # so no pool ever double-counts a block.
+            self._send(sp.pack_frame(
+                sp.T_REPLAY_REQUEST,
+                self.session_id,
+                sp.words_payload(self.field, [self.updates_streamed]),
+            ))
+            while True:
+                frame_type, _session, payload = self._recv()
+                if frame_type == sp.T_ERROR:
+                    code, message = sp.parse_error_struct(payload)
+                    if code in sp.RETRYABLE_RECONNECT:
+                        raise self._unavailable(message)
+                    raise ServiceClientError(message)
+                if frame_type == sp.T_REPLAY_END:
+                    break
+                if frame_type != sp.T_REPLAY_DATA:
+                    raise ServiceClientError(
+                        "unexpected frame 0x%02x during replay" % frame_type
+                    )
+                vector, pairs = sp.parse_updates(self.field, payload)
+                for pool in self._pools.values():
+                    pool.feed(pairs, vector)
+                replayed[0] += len(pairs)
+                self.updates_streamed += len(pairs)
+                self._last_acked = "replay@%d" % self.updates_streamed
+
+        self._with_retries(attempt, "replay")
         self.missed_updates = 0
-        return replayed
+        return replayed[0]
 
     # -- queries -------------------------------------------------------------
 
@@ -499,29 +692,59 @@ class ServiceClient:
         sent0, recv0 = self.bytes_sent, self.bytes_received
         frames0 = self.frames_sent + self.frames_received
         verifier = pool.take()
+        # Snapshot the copy's full state (LDE fingerprints + drawn
+        # randomness) before any frame flies: a query retried after a
+        # transport fault restores this snapshot and re-runs against a
+        # freshly materialised prover over the same dataset, so the
+        # retried conversation is byte-identical to an undisturbed one.
+        pristine = copy.deepcopy(verifier)
 
-        open_words: List[int] = [1 if unit.batched else 0]
-        for q in unit.descriptors:
-            open_words.extend(q.to_words())
-        _t, _s, payload = self._request(
-            sp.T_QUERY_OPEN,
-            self.session_id,
-            sp.words_payload(self.field, open_words),
-            expect=sp.T_QUERY_ACK,
-        )
-        ref = sp.parse_words(self.field, payload)[0]
+        state = {"verifier": verifier, "channel": None, "result": None}
 
-        proxy = self._make_proxy(unit, ref)
-        channel = Channel(tamper=self.tamper)
-        try:
-            result = QueryRouter.run(unit, proxy, verifier, channel)
-        finally:
-            self._request(
-                sp.T_QUERY_CLOSE,
+        def attempt() -> None:
+            open_words: List[int] = [1 if unit.batched else 0]
+            for q in unit.descriptors:
+                open_words.extend(q.to_words())
+            _t, _s, payload = self._request(
+                sp.T_QUERY_OPEN,
                 self.session_id,
-                sp.words_payload(self.field, [ref]),
-                expect=sp.T_QUERY_CLOSE_ACK,
+                sp.words_payload(self.field, open_words),
+                expect=sp.T_QUERY_ACK,
             )
+            ref = sp.parse_words(self.field, payload)[0]
+            self._last_acked = "query-open#%d" % ref
+
+            proxy = self._make_proxy(unit, ref)
+            channel = Channel(tamper=self.tamper)
+            state["channel"] = channel
+            completed = False
+            try:
+                state["result"] = QueryRouter.run(
+                    unit, proxy, state["verifier"], channel
+                )
+                completed = True
+            finally:
+                # Best-effort close: if the transport just died the
+                # server's disconnect cleanup already released the
+                # prover, and the close must not mask the real error.
+                try:
+                    self._request(
+                        sp.T_QUERY_CLOSE,
+                        self.session_id,
+                        sp.words_payload(self.field, [ref]),
+                        expect=sp.T_QUERY_CLOSE_ACK,
+                    )
+                except ServiceUnavailableError:
+                    if completed:
+                        raise
+
+        def on_retry() -> None:
+            state["verifier"] = copy.deepcopy(pristine)
+
+        self._with_retries(attempt, "query", on_retry=on_retry)
+        result = state["result"]
+        channel = state["channel"]
+
         cost_frames = (self.frames_sent + self.frames_received) - frames0
         if unit.batched:
             # Per-query channel accounting; wire bytes are shared.
@@ -535,7 +758,9 @@ class ServiceClient:
                     bytes_received=self.bytes_received - recv0,
                     frames=cost_frames,
                 )
-                out.append((descriptor, QueryOutcome(descriptor, res, cost)))
+                out.append((descriptor, QueryOutcome(
+                    descriptor, res, cost, transcript=channel.transcript
+                )))
             return out
         cost = QueryCost(
             transcript_words=channel.transcript.total_words,
@@ -544,7 +769,9 @@ class ServiceClient:
             frames=cost_frames,
         )
         descriptor = unit.descriptors[0]
-        return [(descriptor, QueryOutcome(descriptor, result, cost))]
+        return [(descriptor, QueryOutcome(
+            descriptor, result, cost, transcript=channel.transcript
+        ))]
 
     def _make_proxy(self, unit: PlanUnit, ref: int):
         from repro.service.router import (
@@ -611,37 +838,124 @@ class ServiceClient:
         )
         return sp.parse_words(self.field, payload)
 
+    def _unavailable(self, message: str) -> ServiceUnavailableError:
+        return ServiceUnavailableError(
+            message, session_id=getattr(self, "session_id", 0),
+            last_acked=self._last_acked,
+        )
+
     def _send(self, frame: bytes) -> None:
-        self._sock.sendall(frame)
+        if self._sock is None:
+            raise self._unavailable("client is not connected")
+        try:
+            self._sock.sendall(frame)
+        except socket.timeout as exc:
+            raise self._unavailable("send timed out: %s" % exc) from exc
+        except OSError as exc:
+            raise self._unavailable("send failed: %s" % exc) from exc
         self.bytes_sent += len(frame)
         self.frames_sent += 1
 
     def _recv_exact(self, count: int) -> bytes:
         chunks = []
         while count:
-            chunk = self._sock.recv(count)
+            try:
+                chunk = self._sock.recv(count)
+            except socket.timeout as exc:
+                raise self._unavailable(
+                    "receive timed out after %.3gs" % self.op_timeout
+                ) from exc
+            except OSError as exc:
+                raise self._unavailable("receive failed: %s" % exc) from exc
             if not chunk:
-                raise ServiceClientError("connection closed by the service")
+                raise self._unavailable("connection closed by the service")
             chunks.append(chunk)
             count -= len(chunk)
         return b"".join(chunks)
 
     def _recv(self) -> Tuple[int, int, bytes]:
-        header = self._recv_exact(sp.HEADER_LEN)
-        frame_type, session_id, length = sp.unpack_header(header)
-        payload = self._recv_exact(length) if length else b""
+        try:
+            header = self._recv_exact(sp.HEADER_LEN)
+            frame_type, session_id, length = sp.unpack_header(
+                header, max_payload=self.max_payload
+            )
+            payload = self._recv_exact(length) if length else b""
+        except sp.ServiceProtocolError as exc:
+            # Structural damage on the inbound stream is a transport
+            # fault (TCP guarantees the server's bytes arrive intact, so
+            # something between us and it mangled the frame): resync by
+            # reconnecting rather than misparse everything after it.
+            raise self._unavailable("frame damaged in flight: %s" % exc) \
+                from exc
         self.bytes_received += sp.HEADER_LEN + length
         self.frames_received += 1
         return frame_type, session_id, payload
 
     def _request(self, frame_type: int, session_id: int, payload: bytes,
                  expect: int) -> Tuple[int, int, bytes]:
-        self._send(sp.pack_frame(frame_type, session_id, payload))
-        reply_type, reply_session, reply_payload = self._recv()
-        if reply_type == sp.T_ERROR:
-            raise ServiceClientError(sp.parse_error(reply_payload))
-        if reply_type != expect:
-            raise ServiceClientError(
-                "expected frame 0x%02x, got 0x%02x" % (expect, reply_type)
-            )
-        return reply_type, reply_session, reply_payload
+        busy = 0
+        while True:
+            self._send(sp.pack_frame(frame_type, session_id, payload))
+            reply_type, reply_session, reply_payload = self._recv()
+            if reply_type == sp.T_ERROR:
+                code, message = sp.parse_error_struct(reply_payload)
+                if code in sp.RETRYABLE_BUSY:
+                    # A clean refusal (admission/rate limit): the server
+                    # did not process the request, so resending after
+                    # backoff is safe at *any* protocol position — no
+                    # verifier or prover state moved.
+                    busy += 1
+                    if busy >= self.retry.max_attempts:
+                        raise ServiceBusyError(message, code=code)
+                    self.refusals += 1
+                    time.sleep(self.retry.delay(busy - 1, self._retry_rng))
+                    continue
+                if code in sp.RETRYABLE_RECONNECT:
+                    raise self._unavailable(message)
+                raise ServiceClientError(message)
+            if reply_type != expect:
+                raise ServiceClientError(
+                    "expected frame 0x%02x, got 0x%02x" % (expect, reply_type)
+                )
+            return reply_type, reply_session, reply_payload
+
+    # -- retry engine --------------------------------------------------------
+
+    def _with_retries(self, attempt: Callable[[], None], op: str,
+                      already_done: Optional[Callable[[], bool]] = None,
+                      on_retry: Optional[Callable[[], None]] = None) -> None:
+        """Run ``attempt`` under the retry policy.
+
+        Transport faults reconnect before retrying (busy refusals are
+        absorbed lower down, in :meth:`_request`, where resending is
+        position-safe).  ``already_done`` is consulted after a reconnect
+        — an operation the server provably applied (its effect is
+        visible in the fresh HELLO state) is not replayed, which is what
+        makes resends idempotent.  ``on_retry`` restores caller state
+        (e.g. a verifier snapshot) before the next attempt.
+        """
+        failures = 0
+        while True:
+            try:
+                attempt()
+                return
+            except ServiceUnavailableError:
+                failures += 1
+                if failures >= self.retry.max_attempts:
+                    raise
+                self.retries += 1
+                time.sleep(self.retry.delay(failures - 1, self._retry_rng))
+                try:
+                    self.reconnect()
+                except (ServiceClientError, OSError):
+                    # Dial failed: the next attempt() fails fast on the
+                    # dead socket and consumes another try.
+                    pass
+                else:
+                    if already_done is not None and already_done():
+                        return
+                # Restore caller state before *every* retry, even after
+                # a failed dial — a half-advanced verifier must never
+                # meet a fresh prover.
+                if on_retry is not None:
+                    on_retry()

@@ -24,6 +24,15 @@ from repro.service.router import QueryDescriptor, QueryRouter
 from repro.streams.generators import key_value_pairs
 
 
+def _percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample set."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+    return ordered[rank]
+
+
 @dataclass
 class LoadReport:
     """Aggregate results of one load-generation run."""
@@ -37,6 +46,13 @@ class LoadReport:
     bytes_sent: int
     bytes_received: int
     failures: List[str] = dataclass_field(default_factory=list)
+    #: Wall-clock seconds per ``client.query()`` call (one sample per
+    #: call, faults and retries included — tail latency is the point).
+    query_latencies: List[float] = dataclass_field(default_factory=list)
+    #: Fault-tolerance tallies summed over all sessions' clients.
+    retries: int = 0
+    refusals: int = 0
+    reconnects: int = 0
 
     @property
     def sessions_per_second(self) -> float:
@@ -49,6 +65,14 @@ class LoadReport:
     @property
     def queries_per_second(self) -> float:
         return self.queries_run / self.elapsed_seconds
+
+    @property
+    def p50_latency(self) -> float:
+        return _percentile(self.query_latencies, 0.50)
+
+    @property
+    def p99_latency(self) -> float:
+        return _percentile(self.query_latencies, 0.99)
 
     def as_record(self) -> Dict:
         return {
@@ -63,6 +87,12 @@ class LoadReport:
             "transcript_words": self.transcript_words,
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
+            "query_p50_seconds": self.p50_latency,
+            "query_p99_seconds": self.p99_latency,
+            "retries": self.retries,
+            "refusals": self.refusals,
+            "reconnects": self.reconnects,
+            "errors": len(self.failures),
         }
 
 
@@ -71,6 +101,7 @@ def session_workload(
     updates: int,
     queries: List[QueryDescriptor],
     rng: random.Random,
+    latency_sink: Optional[List[float]] = None,
 ) -> List:
     """One session's life: stream a KV workload, then verify queries."""
     pairs = key_value_pairs(client.u, min(updates, client.u // 2), rng=rng)
@@ -81,7 +112,15 @@ def session_workload(
         k, _v = pairs[rng.randrange(len(pairs))]
         encoded.append((k, 1))
     client.send_updates(encoded[:updates])
-    return client.query(*queries)
+    return _timed_query(client, queries, latency_sink)
+
+
+def _timed_query(client, queries, latency_sink):
+    t0 = time.perf_counter()
+    outcomes = client.query(*queries)
+    if latency_sink is not None:
+        latency_sink.append(time.perf_counter() - t0)
+    return outcomes
 
 
 def run_load(
@@ -96,6 +135,7 @@ def run_load(
     seed: int = 0,
     shared_dataset: bool = False,
     dataset_base: int = 1,
+    client_kwargs: Optional[Dict] = None,
 ) -> LoadReport:
     """Run ``sessions`` full client sessions and aggregate throughput.
 
@@ -109,6 +149,11 @@ def run_load(
     ``dataset_base`` offsets the per-session dataset ids (session ``i``
     writes dataset ``dataset_base + i``); pick a fresh base when the
     target service already holds datasets.
+
+    ``client_kwargs`` forwards extra keyword arguments to every
+    :class:`ServiceClient` — the knob for running the workload with a
+    custom :class:`~repro.service.client.RetryPolicy` or timeouts, e.g.
+    when pointed through a :class:`~repro.service.faults.ChaosProxy`.
     """
     if queries is None:
         queries = [
@@ -122,8 +167,13 @@ def run_load(
         "words": 0,
         "sent": 0,
         "received": 0,
+        "retries": 0,
+        "refusals": 0,
+        "reconnects": 0,
     }
     failures: List[str] = []
+    latencies: List[float] = []
+    extra_kwargs = dict(client_kwargs or {})
     # Pools follow the *plan*, not the raw descriptors: a mixed
     # sum-check batch consumes one copy from the ("batch",) pool
     # instead of one per family.
@@ -134,6 +184,7 @@ def run_load(
 
     def one_session(index: int) -> None:
         rng = random.Random(seed * 10007 + index)
+        session_latencies: List[float] = []
         try:
             client = ServiceClient(
                 host,
@@ -143,6 +194,7 @@ def run_load(
                 dataset_id=dataset_base if shared_dataset
                 else dataset_base + index,
                 rng=rng,
+                **extra_kwargs,
             )
             with client:
                 for key, copies in pool_spec.items():
@@ -150,10 +202,13 @@ def run_load(
                     client.provision(key, copies)
                 if shared_dataset and client.missed_updates:
                     client.replay_missed()
-                    outcomes = client.query(*queries)
+                    outcomes = _timed_query(
+                        client, queries, session_latencies
+                    )
                 else:
                     outcomes = session_workload(
-                        client, updates_per_session, queries, rng
+                        client, updates_per_session, queries, rng,
+                        latency_sink=session_latencies,
                     )
             with lock:
                 totals["queries_run"] += len(outcomes)
@@ -165,6 +220,10 @@ def run_load(
                 )
                 totals["sent"] += client.bytes_sent
                 totals["received"] += client.bytes_received
+                totals["retries"] += client.retries
+                totals["refusals"] += client.refusals
+                totals["reconnects"] += client.reconnects
+                latencies.extend(session_latencies)
         except Exception as exc:  # noqa: BLE001 - reported, not swallowed
             with lock:
                 failures.append("session %d: %r" % (index, exc))
@@ -197,4 +256,8 @@ def run_load(
         bytes_sent=totals["sent"],
         bytes_received=totals["received"],
         failures=failures,
+        query_latencies=latencies,
+        retries=totals["retries"],
+        refusals=totals["refusals"],
+        reconnects=totals["reconnects"],
     )

@@ -58,11 +58,31 @@ T_QUERY_CLOSE = 0x0C    # client -> server: release a prover
 T_QUERY_CLOSE_ACK = 0x0D
 T_STATS = 0x0E          # client -> server: service statistics
 T_STATS_REPLY = 0x0F
-T_ERROR = 0x10          # server -> client: UTF-8 error message
+T_ERROR = 0x10          # server -> client: error code + UTF-8 message
 T_BYE = 0x11            # client -> server: end the session
 T_BYE_ACK = 0x12
 
 _KNOWN_TYPES = frozenset(range(T_HELLO, T_BYE_ACK + 1))
+
+# -- error codes (T_ERROR payloads) -------------------------------------------
+#
+# A structured refusal beats a bare connection reset: the first two bytes
+# of every T_ERROR payload classify the failure so a client can decide
+# between "retry after backoff" (busy/rate-limited), "reconnect and
+# resume" (timeout/transport/unknown session — the server lost this
+# conversation) and "give up" (a semantic rejection that will repeat).
+
+E_GENERIC = 0x0000        # semantic rejection; retrying will not help
+E_BUSY = 0x0001           # admission control refused; retry after backoff
+E_RATE_LIMITED = 0x0002   # token bucket empty; retry after backoff
+E_TIMEOUT = 0x0003        # the server timed this conversation out
+E_UNKNOWN_SESSION = 0x0004  # session state is gone; reconnect + resume
+E_TRANSPORT = 0x0005      # framing damage observed; reconnect + resume
+
+#: Codes a client may transparently absorb with a retry (the request
+#: itself was fine — the *service state or network* was not).
+RETRYABLE_BUSY = frozenset([E_BUSY, E_RATE_LIMITED])
+RETRYABLE_RECONNECT = frozenset([E_TIMEOUT, E_UNKNOWN_SESSION, E_TRANSPORT])
 
 # -- prover method opcodes (T_P_CALL payloads) --------------------------------
 #
@@ -108,8 +128,15 @@ def pack_frame(frame_type: int, session_id: int, payload: bytes = b"") -> bytes:
     )
 
 
-def unpack_header(header: bytes) -> Tuple[int, int, int]:
-    """(frame type, session id, payload length) from a 12-byte header."""
+def unpack_header(header: bytes,
+                  max_payload: int = MAX_PAYLOAD) -> Tuple[int, int, int]:
+    """(frame type, session id, payload length) from a 12-byte header.
+
+    ``max_payload`` is the receiver's frame-size knob: the declared
+    length is validated against it *before* any payload allocation, so a
+    malformed or malicious peer cannot make either end reserve memory
+    for a frame it will never legitimately send.
+    """
     if len(header) != HEADER_LEN:
         raise ServiceProtocolError(
             "frame header is %d bytes, expected %d" % (len(header), HEADER_LEN)
@@ -126,10 +153,10 @@ def unpack_header(header: bytes) -> Tuple[int, int, int]:
         raise ServiceProtocolError("unknown frame type 0x%02x" % frame_type)
     session_id = int.from_bytes(header[4:8], "big")
     length = int.from_bytes(header[8:12], "big")
-    if length > MAX_PAYLOAD:
+    if length > min(max_payload, MAX_PAYLOAD):
         raise ServiceProtocolError(
             "declared payload of %d bytes exceeds the %d-byte cap"
-            % (length, MAX_PAYLOAD)
+            % (length, min(max_payload, MAX_PAYLOAD))
         )
     return frame_type, session_id, length
 
@@ -230,9 +257,24 @@ def parse_updates(field: PrimeField, payload: bytes):
     return vector, pairs
 
 
-def error_payload(message: str) -> bytes:
-    return message.encode("utf-8")
+def error_payload(message: str, code: int = E_GENERIC) -> bytes:
+    """T_ERROR body: error code (2 bytes, BE) + UTF-8 message."""
+    if not 0 <= code < (1 << 16):
+        raise ServiceProtocolError("error code %r out of range" % (code,))
+    return code.to_bytes(2, "big") + message.encode("utf-8")
 
 
 def parse_error(payload: bytes) -> str:
-    return payload.decode("utf-8", errors="replace")
+    return parse_error_struct(payload)[1]
+
+
+def parse_error_struct(payload: bytes) -> Tuple[int, str]:
+    """(code, message) from a T_ERROR body.
+
+    A payload too short to carry a code (never produced by this
+    implementation, but a peer may be damaged) reads as E_GENERIC.
+    """
+    if len(payload) < 2:
+        return E_GENERIC, payload.decode("utf-8", errors="replace")
+    code = int.from_bytes(payload[:2], "big")
+    return code, payload[2:].decode("utf-8", errors="replace")

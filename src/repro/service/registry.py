@@ -23,15 +23,43 @@ pass over the data, just a second read).
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.base import pow2_dimension
 from repro.field.modular import PrimeField
+from repro.service import protocol as sp
 from repro.service.router import PlanUnit, QueryDescriptor, QueryRouter
 
 
 class RegistryError(ValueError):
     """A structurally valid frame asked for something impossible."""
+
+    #: The T_ERROR code a server stamps on this rejection.
+    code = sp.E_GENERIC
+
+
+class AdmissionError(RegistryError):
+    """The service is full (sessions or in-flight queries at capacity).
+
+    This is a *clean refusal*, not a failure: the client is expected to
+    back off and retry, and the server sheds load instead of degrading
+    every admitted session.
+    """
+
+    code = sp.E_BUSY
+
+
+class UnknownSessionError(RegistryError):
+    """The session id is not (or no longer) registered.
+
+    After a server restart the datasets survive via snapshot/restore but
+    connections do not; a client holding a stale session id must
+    reconnect (HELLO on the same dataset) and resume.
+    """
+
+    code = sp.E_UNKNOWN_SESSION
 
 
 class Dataset:
@@ -127,19 +155,38 @@ class SessionRegistry:
     #: refused with an error frame, not allocated into an OOM kill.
     DEFAULT_MAX_UNIVERSE = 1 << 24
 
+    #: Snapshot format version (bumped on any layout change so stale
+    #: snapshots are rejected loudly instead of misread).
+    SNAPSHOT_VERSION = 1
+
     def __init__(self, field: PrimeField, prover_wrapper=None,
-                 max_universe: int = DEFAULT_MAX_UNIVERSE):
+                 max_universe: int = DEFAULT_MAX_UNIVERSE,
+                 max_sessions: Optional[int] = None,
+                 max_inflight_queries: Optional[int] = None):
         self.field = field
         self.prover_wrapper = prover_wrapper
         self.max_universe = max_universe
+        #: Admission control: HELLOs beyond this many live sessions are
+        #: refused with a clean E_BUSY frame (None = unbounded).
+        self.max_sessions = max_sessions
+        #: Per-session cap on concurrently open queries (None = unbounded).
+        self.max_inflight_queries = max_inflight_queries
         self.datasets: Dict[int, Dataset] = {}
         self.sessions: Dict[int, Session] = {}
         self._next_session_id = 1
         self.queries_served = 0
+        self.refusals = 0
 
     # -- lifecycle -----------------------------------------------------------
 
     def connect(self, u: int, dataset_id: int) -> Session:
+        if (self.max_sessions is not None
+                and len(self.sessions) >= self.max_sessions):
+            self.refusals += 1
+            raise AdmissionError(
+                "service at capacity (%d sessions); retry later"
+                % len(self.sessions)
+            )
         if not 1 <= u <= self.max_universe:
             raise RegistryError(
                 "universe size %d outside this service's limit [1, %d]"
@@ -163,7 +210,7 @@ class SessionRegistry:
     def session(self, session_id: int) -> Session:
         session = self.sessions.get(session_id)
         if session is None:
-            raise RegistryError("unknown session %d" % session_id)
+            raise UnknownSessionError("unknown session %d" % session_id)
         return session
 
     def disconnect(self, session_id: int) -> None:
@@ -177,6 +224,13 @@ class SessionRegistry:
                    descriptors: List[QueryDescriptor],
                    batched: bool) -> ActiveQuery:
         session = self.session(session_id)
+        if (self.max_inflight_queries is not None
+                and len(session.queries) >= self.max_inflight_queries):
+            self.refusals += 1
+            raise AdmissionError(
+                "session %d already has %d queries in flight; retry later"
+                % (session_id, len(session.queries))
+            )
         dataset = session.dataset
         unit = PlanUnit(batched, tuple(descriptors))
         prover = QueryRouter.make_prover(
@@ -188,6 +242,78 @@ class SessionRegistry:
                 prover = replacement
         self.queries_served += 1
         return session.open_query(unit, prover)
+
+    # -- snapshot / restore --------------------------------------------------
+    #
+    # Crash recovery: everything a restarted server needs to resume its
+    # datasets lives in the replay logs (the log *is* the stream both
+    # parties observed; the dense tables are a deterministic fold of it,
+    # and the clients' LDE fingerprints were computed from the same
+    # bytes).  Connections and in-flight provers are deliberately not
+    # persisted — a mid-round prover is cheap to rematerialise, and the
+    # client-driven retry re-runs the query against the restored tables,
+    # reproducing the exact transcript (sum-check transcripts are
+    # deterministic given data + verifier randomness).
+
+    def snapshot(self, path) -> str:
+        """Persist all datasets (logs + counters) to ``path``.
+
+        The write goes through a temp file + ``os.replace`` so a crash
+        mid-snapshot leaves the previous snapshot intact, never a
+        half-written one.
+        """
+        payload = {
+            "version": self.SNAPSHOT_VERSION,
+            "field_p": self.field.p,
+            "next_session_id": self._next_session_id,
+            "queries_served": self.queries_served,
+            "datasets": [
+                {
+                    "id": d.dataset_id,
+                    "u": d.u,
+                    "log": [list(entry) for entry in d.log],
+                }
+                for d in self.datasets.values()
+            ],
+        }
+        path = str(path)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def restore(cls, path, field: PrimeField, **kwargs) -> "SessionRegistry":
+        """A fresh registry with every snapshotted dataset rebuilt.
+
+        The dense frequency tables are reconstructed by replaying each
+        dataset's log — the same fold the live server performed — so a
+        restored dataset is indistinguishable from one that never went
+        down.  Session ids keep counting from where the old server
+        stopped, so a stale id can never alias a post-restart session.
+        """
+        with open(str(path), "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("version") != cls.SNAPSHOT_VERSION:
+            raise RegistryError(
+                "snapshot version %r not supported (expected %d)"
+                % (payload.get("version"), cls.SNAPSHOT_VERSION)
+            )
+        if payload.get("field_p") != field.p:
+            raise RegistryError(
+                "snapshot was taken in Z_%s, service runs Z_%d"
+                % (payload.get("field_p"), field.p)
+            )
+        registry = cls(field, **kwargs)
+        registry._next_session_id = int(payload.get("next_session_id", 1))
+        registry.queries_served = int(payload.get("queries_served", 0))
+        for entry in payload.get("datasets", []):
+            dataset = Dataset(field, int(entry["u"]), int(entry["id"]))
+            for vector, key, delta in entry.get("log", []):
+                dataset.apply(int(vector), [(int(key), int(delta))])
+            registry.datasets[dataset.dataset_id] = dataset
+        return registry
 
     # -- statistics ----------------------------------------------------------
 

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.heavy_hitters import NodeRecord
 from repro.field.modular import PrimeField
@@ -54,6 +55,34 @@ def _flatten_records(records) -> List[int]:
 class ServiceError(RuntimeError):
     """Server-side rejection delivered to the client as T_ERROR."""
 
+    code = sp.E_GENERIC
+
+
+class TokenBucket:
+    """Classic token-bucket rate limiter (``rate`` tokens/s, ``burst`` cap).
+
+    An exhausted bucket is a *refusal*, not a stall: the server answers
+    with an E_RATE_LIMITED frame immediately and the client backs off —
+    holding the connection open while rationing server CPU.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self.tokens = self.burst
+        self._last = clock()
+
+    def try_take(self, n: float = 1.0) -> bool:
+        now = self.clock()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
 
 class ProverServer:
     """Prover-as-a-service endpoint.
@@ -66,17 +95,63 @@ class ProverServer:
     host, port:
         Listening address; port 0 picks a free port (read it back from
         :attr:`port` after :meth:`start`).
+    max_sessions, max_inflight_queries:
+        Admission control (refused with E_BUSY frames); None = unbounded.
+    rate_limit:
+        ``(tokens_per_second, burst)`` per-session token bucket; a frame
+        arriving on an empty bucket is answered with E_RATE_LIMITED and
+        not processed.  None disables rate limiting.
+    frame_timeout:
+        Seconds a frame's payload may trail its header before the
+        conversation is timed out (a stalled or malicious peer must not
+        pin a handler forever).
+    idle_timeout:
+        Seconds a connection may sit silent between frames.
+    max_payload:
+        Per-frame payload cap enforced on decode, before allocation.
     """
 
     def __init__(self, field: PrimeField, host: str = "127.0.0.1",
                  port: int = 0, prover_wrapper=None,
-                 max_universe: int = SessionRegistry.DEFAULT_MAX_UNIVERSE):
+                 max_universe: int = SessionRegistry.DEFAULT_MAX_UNIVERSE,
+                 max_sessions: Optional[int] = None,
+                 max_inflight_queries: Optional[int] = None,
+                 rate_limit: Optional[Tuple[float, float]] = None,
+                 frame_timeout: Optional[float] = None,
+                 idle_timeout: Optional[float] = None,
+                 max_payload: int = sp.MAX_PAYLOAD,
+                 registry: Optional[SessionRegistry] = None):
         self.field = field
         self.host = host
         self.port = port
-        self.registry = SessionRegistry(field, prover_wrapper=prover_wrapper,
-                                        max_universe=max_universe)
+        if registry is None:
+            registry = SessionRegistry(
+                field, prover_wrapper=prover_wrapper,
+                max_universe=max_universe, max_sessions=max_sessions,
+                max_inflight_queries=max_inflight_queries,
+            )
+        self.registry = registry
+        self.rate_limit = rate_limit
+        self.frame_timeout = frame_timeout
+        self.idle_timeout = idle_timeout
+        self.max_payload = max_payload
+        self.timeouts = 0
+        self.rate_limited = 0
+        self._buckets: Dict[int, TokenBucket] = {}
         self._server: Optional[asyncio.AbstractServer] = None
+
+    @classmethod
+    def from_snapshot(cls, path, field: PrimeField,
+                      **kwargs) -> "ProverServer":
+        """A server whose registry is restored from a snapshot file."""
+        registry_kwargs = {
+            key: kwargs.pop(key)
+            for key in ("prover_wrapper", "max_universe", "max_sessions",
+                        "max_inflight_queries")
+            if key in kwargs
+        }
+        registry = SessionRegistry.restore(path, field, **registry_kwargs)
+        return cls(field, registry=registry, **kwargs)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -91,6 +166,10 @@ class ProverServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    def snapshot(self, path) -> str:
+        """Persist the registry's datasets (see ``SessionRegistry.snapshot``)."""
+        return self.registry.snapshot(path)
 
     async def serve_forever(self) -> None:
         await self.start()
@@ -123,21 +202,81 @@ class ProverServer:
 
     # -- connection handling -------------------------------------------------
 
+    async def _read_exactly(self, reader: asyncio.StreamReader, count: int,
+                            timeout: Optional[float]) -> bytes:
+        if timeout is None:
+            return await reader.readexactly(count)
+        return await asyncio.wait_for(reader.readexactly(count), timeout)
+
+    def _allow_frame(self, session_id: int) -> bool:
+        """Per-session token bucket; HELLO-less frames share bucket 0."""
+        if self.rate_limit is None:
+            return True
+        bucket = self._buckets.get(session_id)
+        if bucket is None:
+            rate, burst = self.rate_limit
+            bucket = self._buckets[session_id] = TokenBucket(rate, burst)
+        if bucket.try_take():
+            return True
+        self.rate_limited += 1
+        return False
+
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         session_id = 0
         try:
             while True:
                 try:
-                    header = await reader.readexactly(sp.HEADER_LEN)
+                    header = await self._read_exactly(
+                        reader, sp.HEADER_LEN, self.idle_timeout
+                    )
                 except asyncio.IncompleteReadError:
                     break  # connection closed between frames
-                frame_type, frame_session, length = sp.unpack_header(header)
-                payload = await reader.readexactly(length)
+                except asyncio.TimeoutError:
+                    # Idle too long: shed the connection quietly — the
+                    # client reconnects and resumes on its next request.
+                    self.timeouts += 1
+                    break
+                frame_type, frame_session, length = sp.unpack_header(
+                    header, max_payload=self.max_payload
+                )
+                try:
+                    payload = await self._read_exactly(
+                        reader, length, self.frame_timeout
+                    )
+                except asyncio.TimeoutError:
+                    # A header whose payload never arrives is a stalled
+                    # or malicious peer: structured refusal, then
+                    # hang up (the stream position is unrecoverable).
+                    self.timeouts += 1
+                    try:
+                        writer.write(sp.pack_frame(
+                            sp.T_ERROR, frame_session,
+                            sp.error_payload(
+                                "frame payload timed out", sp.E_TIMEOUT
+                            ),
+                        ))
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    break
                 if frame_type == sp.T_BYE:
                     writer.write(sp.pack_frame(sp.T_BYE_ACK, frame_session))
                     await writer.drain()
                     break
+                if frame_type != sp.T_HELLO and not self._allow_frame(
+                    frame_session
+                ):
+                    writer.write(sp.pack_frame(
+                        sp.T_ERROR, frame_session,
+                        sp.error_payload(
+                            "session %d rate limited; retry after backoff"
+                            % frame_session,
+                            sp.E_RATE_LIMITED,
+                        ),
+                    ))
+                    await writer.drain()
+                    continue
                 try:
                     if frame_type == sp.T_HELLO and session_id:
                         # One session per connection: a second HELLO
@@ -162,7 +301,10 @@ class ProverServer:
                         sp.pack_frame(
                             sp.T_ERROR,
                             frame_session,
-                            sp.error_payload(str(exc) or repr(exc)),
+                            sp.error_payload(
+                                str(exc) or repr(exc),
+                                getattr(exc, "code", sp.E_GENERIC),
+                            ),
                         )
                     ]
                 for frame in replies:
@@ -171,21 +313,25 @@ class ProverServer:
         except sp.ServiceProtocolError as exc:
             # Framing damage: tell the peer once, then hang up.
             try:
-                writer.write(
-                    sp.pack_frame(sp.T_ERROR, 0, sp.error_payload(str(exc)))
-                )
+                writer.write(sp.pack_frame(
+                    sp.T_ERROR, 0,
+                    sp.error_payload(str(exc), sp.E_TRANSPORT),
+                ))
                 await writer.drain()
-            except ConnectionError:
+            except (ConnectionError, OSError):
                 pass
-        except ConnectionError:
+        except (ConnectionError, OSError):
             pass
         finally:
             if session_id:
                 self.registry.disconnect(session_id)
-            writer.close()
+                self._buckets.pop(session_id, None)
+            # RuntimeError: the loop may already be closed when a handler
+            # is garbage-collected during interpreter/test teardown.
             try:
+                writer.close()
                 await writer.wait_closed()
-            except ConnectionError:
+            except (ConnectionError, OSError, RuntimeError):
                 pass
 
     # -- frame dispatch ------------------------------------------------------
@@ -419,6 +565,28 @@ class ServerHandle:
     def address(self):
         return (self.server.host, self.server.port)
 
+    def snapshot(self, path) -> str:
+        """Snapshot the registry *on the server's loop* — between frames,
+        so no half-applied update block can leak into the file."""
+        import concurrent.futures
+
+        future: "concurrent.futures.Future[str]" = concurrent.futures.Future()
+
+        def run() -> None:
+            try:
+                future.set_result(self.server.snapshot(path))
+            except BaseException as exc:  # noqa: BLE001 - relayed to caller
+                future.set_exception(exc)
+
+        self._loop.call_soon_threadsafe(run)
+        return future.result(timeout=30)
+
     def stop(self) -> None:
-        self._loop.call_soon_threadsafe(self._loop.stop)
+        # Idempotent: a test that restarts servers may stop one both at
+        # the restart point and again in its cleanup path.
+        if not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            except RuntimeError:
+                pass
         self._thread.join(timeout=10)

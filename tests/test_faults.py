@@ -1,0 +1,656 @@
+"""Chaos tests: the verified-query service under injected faults.
+
+The acceptance bar is stronger than "it still works": because sum-check
+transcripts are deterministic given the data and the verifier's
+randomness, every recovery path — retry, reconnect, replay catch-up,
+snapshot/restore, worker-pool rebuild — must reproduce the *byte
+identical* transcript of an undisturbed run.  These tests drive a real
+server and a real client through a :class:`ChaosProxy` under scheduled
+connection drops, frame truncation/corruption, delays and stalls, and
+compare ``encode_transcript`` bytes against a fault-free reference.
+
+Soundness must survive too: structural transport damage is retried, but
+a *cheating prover* behind the same faulty wire is still rejected — the
+retry layer must never convert a semantic rejection into a retry.
+
+``REPRO_CHAOS_SEED`` (default 0) offsets every seeded schedule so the CI
+chaos leg can sweep a seed matrix over the same assertions.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import threading
+import time
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.cheating_provers import ModifiedStreamF2Prover
+from repro.comm.channel import Channel
+from repro.comm.wire import encode_transcript
+from repro.core.f2 import F2Verifier, run_f2
+from repro.distributed.sharded import DistributedF2Prover
+from repro.field.modular import DEFAULT_FIELD as F
+from repro.service import protocol as sp
+from repro.service import (
+    ChaosProxy,
+    FaultSchedule,
+    NO_RETRY,
+    PooledDistributedF2Prover,
+    ProverServer,
+    RetryPolicy,
+    ServiceBusyError,
+    ServiceClient,
+    ServiceUnavailableError,
+    f2,
+    run_load,
+)
+from repro.service.faults import (
+    Fault,
+    KIND_CORRUPT,
+    KIND_DELAY,
+    KIND_DROP,
+    KIND_STALL,
+    KIND_TRUNCATE,
+    SeededSchedule,
+)
+from repro.streams.generators import uniform_frequency_stream
+
+#: Seed offset for the CI chaos matrix (three fixed seeds in the leg).
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+#: Tight backoff so injected outages cost milliseconds, not seconds.
+FAST_RETRY = RetryPolicy(max_attempts=8, base_delay=0.005, max_delay=0.03)
+
+U = 64
+UPDATES = [(i % U, 1 + i % 3) for i in range(40)]
+
+_DATASET_COUNTER = iter(range(50_000, 90_000))
+
+
+def fresh_dataset_id():
+    return next(_DATASET_COUNTER)
+
+
+@pytest.fixture(scope="module")
+def server():
+    handle = ProverServer(F).serve_in_thread()
+    yield handle
+    handle.stop()
+
+
+def run_workload(host, port, dataset_id, seed=0, retry=FAST_RETRY,
+                 op_timeout=5.0, copies=1):
+    """The canonical chaos workload: provision, stream, verify one F2.
+
+    Identical seeds produce identical verifier randomness, so two runs
+    of this function against equal datasets must produce byte-identical
+    transcripts no matter what the wire did in between.
+    """
+    client = ServiceClient(host, port, F, U, dataset_id=dataset_id,
+                           rng=random.Random(seed), retry=retry,
+                           op_timeout=op_timeout)
+    with client:
+        client.provision(("f2",), copies)
+        client.send_updates(UPDATES)
+        outcomes = client.query(f2())
+    return outcomes, client
+
+
+def run_via_proxy(server, schedule, **kwargs):
+    proxy = ChaosProxy(*server.address, schedule=schedule)
+    handle = proxy.serve_in_thread()
+    try:
+        host, port = handle.address
+        outcomes, client = run_workload(host, port, fresh_dataset_id(),
+                                        **kwargs)
+        return outcomes, client, proxy
+    finally:
+        handle.stop()
+
+
+@pytest.fixture(scope="module")
+def reference(server):
+    """The fault-free run every recovery path must byte-match."""
+    outcomes, client, proxy = run_via_proxy(server, FaultSchedule())
+    assert all(o.result.accepted for o in outcomes)
+    assert client.retries == 0 and client.reconnects == 0
+    return {
+        "bytes": [encode_transcript(F, o.transcript) for o in outcomes],
+        "frames": proxy.global_frames,
+        "values": [o.result.value for o in outcomes],
+    }
+
+
+def assert_matches_reference(outcomes, reference):
+    assert all(o.result.accepted for o in outcomes), [
+        o.result.reason for o in outcomes
+    ]
+    assert [o.result.value for o in outcomes] == reference["values"]
+    assert [
+        encode_transcript(F, o.transcript) for o in outcomes
+    ] == reference["bytes"]
+
+
+# -- the tentpole: byte-identity across every failure point --------------------
+
+
+def test_connection_drop_at_every_frame_boundary(server, reference):
+    """Kill the connection at *every* frame of the conversation in turn;
+    the client must recover each time with the exact reference bytes."""
+    for index in range(reference["frames"]):
+        outcomes, client, proxy = run_via_proxy(
+            server, FaultSchedule.scripted({index: KIND_DROP})
+        )
+        assert proxy.faults_injected == 1, index
+        assert_matches_reference(outcomes, reference)
+
+
+@pytest.mark.parametrize("kind", [KIND_CORRUPT, KIND_TRUNCATE, KIND_STALL])
+def test_structural_damage_mid_query_recovered(server, reference, kind):
+    index = reference["frames"] // 2  # inside the interactive phase
+    fault = Fault(kind, 0.05 if kind == KIND_STALL else 0.0)
+    outcomes, client, proxy = run_via_proxy(
+        server, FaultSchedule.scripted({index: fault}), op_timeout=1.0
+    )
+    assert proxy.faults_injected == 1
+    assert client.retries >= 1
+    assert_matches_reference(outcomes, reference)
+
+
+def test_pure_delays_need_no_recovery(server, reference):
+    plan = {index: Fault(KIND_DELAY, 0.01) for index in (2, 5, 9)}
+    outcomes, client, proxy = run_via_proxy(
+        server, FaultSchedule.scripted(plan)
+    )
+    assert proxy.faults_injected == 3
+    assert client.retries == 0 and client.reconnects == 0
+    assert_matches_reference(outcomes, reference)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_seeded_fault_schedules_recover_byte_identical(server, reference,
+                                                       seed):
+    """Hypothesis sweep (satellite): pseudo-random drop/corrupt/truncate/
+    delay schedules at a small rate — every surviving query must carry
+    the reference transcript bytes and verdict."""
+    schedule = SeededSchedule(
+        seed ^ (CHAOS_SEED << 20), rate=0.02,
+        kinds=(KIND_DROP, KIND_CORRUPT, KIND_TRUNCATE, KIND_DELAY),
+        delay=0.002, stall=0.05,
+    )
+    outcomes, client, proxy = run_via_proxy(
+        server, schedule,
+        retry=RetryPolicy(max_attempts=16, base_delay=0.002,
+                          max_delay=0.02),
+    )
+    assert_matches_reference(outcomes, reference)
+
+
+def test_mid_replay_disconnect_resumes_from_last_block(server):
+    """A late joiner whose catch-up replay is cut mid-stream re-requests
+    only the tail — no pool double-counts, and the verdict matches."""
+    u = 256
+    n = 5000  # > REPLAY_BLOCK, so the replay spans two data frames
+    updates = [(i % u, 1 + i % 5) for i in range(n)]
+    dataset = fresh_dataset_id()
+    host, port = server.address
+
+    writer = ServiceClient(host, port, F, u, dataset_id=dataset,
+                           rng=random.Random(7))
+    with writer:
+        writer.provision(("f2",), 1)
+        writer.send_updates(updates)
+        want = writer.query(f2())[0]
+        assert want.result.accepted
+
+    # Frames through a fresh proxy: HELLO(0) ACK(1) REQUEST(2) DATA(3)
+    # DATA(4) END(5) — drop the second data block.
+    proxy = ChaosProxy(host, port,
+                       schedule=FaultSchedule.scripted({4: KIND_DROP}))
+    handle = proxy.serve_in_thread()
+    try:
+        reader = ServiceClient(*handle.address, F, u, dataset_id=dataset,
+                               rng=random.Random(8), retry=FAST_RETRY)
+        with reader:
+            assert reader.missed_updates == n
+            reader.provision(("f2",), 1)
+            assert reader.replay_missed() == n
+            assert reader.retries >= 1
+            got = reader.query(f2())[0]
+            assert got.result.accepted
+            assert got.result.value == want.result.value
+    finally:
+        handle.stop()
+
+
+def test_soundness_survives_the_faulty_wire():
+    """A cheating prover behind the chaos proxy is still rejected: the
+    retry layer recovers from transport damage, never from dishonesty."""
+
+    def corrupt_f2(unit, prover, dataset):
+        if unit.descriptors[0].kind != f2().kind:
+            return None
+        cheat = ModifiedStreamF2Prover(F, dataset.u, corrupt_key=3)
+        cheat.freq = list(prover.freq)
+        return cheat
+
+    srv = ProverServer(F, prover_wrapper=corrupt_f2)
+    server_handle = srv.serve_in_thread()
+    try:
+        proxy = ChaosProxy(
+            *server_handle.address,
+            schedule=FaultSchedule.scripted({8: KIND_DROP}),
+        )
+        handle = proxy.serve_in_thread()
+        try:
+            outcomes, client = run_workload(
+                *handle.address, fresh_dataset_id()
+            )
+            assert proxy.faults_injected == 1
+            assert not outcomes[0].result.accepted
+            assert outcomes[0].result.reason
+        finally:
+            handle.stop()
+    finally:
+        server_handle.stop()
+
+
+# -- typed transport errors (satellite) ----------------------------------------
+
+
+def test_dead_service_surfaces_typed_unavailable_error():
+    srv = ProverServer(F)
+    handle = srv.serve_in_thread()
+    client = ServiceClient(*handle.address, F, U,
+                           dataset_id=1, rng=random.Random(1),
+                           retry=NO_RETRY, op_timeout=0.5)
+    client.provision(("f2",), 1)
+    client.send_updates(UPDATES[:4])
+    session = client.session_id
+    handle.stop()
+    with pytest.raises(ServiceUnavailableError) as excinfo:
+        client.put(1, 1)
+    err = excinfo.value
+    assert err.session_id == session
+    assert err.last_acked.startswith("updates@")
+    assert "last acked" in str(err)
+
+
+def test_unavailable_error_reports_last_acked_step(server, reference):
+    """Mid-query transport death names the last acknowledged protocol
+    step, so operators can see where the conversation died."""
+    # Drop every frame from mid-query onward: retries burn out.
+    plan = {index: Fault(KIND_DROP)
+            for index in range(10, 10 + 4 * reference["frames"])}
+    proxy = ChaosProxy(*server.address,
+                       schedule=FaultSchedule.scripted(plan))
+    handle = proxy.serve_in_thread()
+    try:
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            run_workload(*handle.address, fresh_dataset_id(),
+                         retry=RetryPolicy(max_attempts=2,
+                                           base_delay=0.005))
+        assert excinfo.value.last_acked
+    finally:
+        handle.stop()
+
+
+# -- server-side robustness knobs ----------------------------------------------
+
+
+def test_admission_control_refuses_cleanly_then_admits():
+    srv = ProverServer(F, max_sessions=1)
+    handle = srv.serve_in_thread()
+    try:
+        host, port = handle.address
+        first = ServiceClient(host, port, F, U, dataset_id=1,
+                              rng=random.Random(1), retry=NO_RETRY)
+        # Without retries the refusal is immediate and typed.
+        with pytest.raises(ServiceBusyError) as excinfo:
+            ServiceClient(host, port, F, U, dataset_id=2,
+                          rng=random.Random(2), retry=NO_RETRY)
+        assert excinfo.value.code == sp.E_BUSY
+        assert srv.registry.refusals >= 1
+        # With backoff the second client waits out the capacity squeeze.
+        releaser = threading.Timer(0.15, first.close)
+        releaser.start()
+        try:
+            second = ServiceClient(
+                host, port, F, U, dataset_id=2, rng=random.Random(2),
+                retry=RetryPolicy(max_attempts=20, base_delay=0.02,
+                                  max_delay=0.05),
+            )
+        finally:
+            releaser.join()
+        with second:
+            assert second.refusals >= 1
+            second.provision(("f2",), 1)
+            second.send_updates(UPDATES)
+            assert second.query(f2())[0].result.accepted
+    finally:
+        handle.stop()
+
+
+def test_inflight_query_cap_is_per_session():
+    srv = ProverServer(F, max_inflight_queries=1)
+    handle = srv.serve_in_thread()
+    try:
+        client = ServiceClient(*handle.address, F, U, dataset_id=1,
+                               rng=random.Random(3), retry=NO_RETRY)
+        with client:
+            client.provision(("f2",), 1)
+            client.send_updates(UPDATES)
+            open_words = sp.words_payload(F, [0, *f2().to_words()])
+            client._request(sp.T_QUERY_OPEN, client.session_id,
+                            open_words, expect=sp.T_QUERY_ACK)
+            with pytest.raises(ServiceBusyError):
+                client._request(sp.T_QUERY_OPEN, client.session_id,
+                                open_words, expect=sp.T_QUERY_ACK)
+    finally:
+        handle.stop()
+
+
+def test_rate_limited_session_backs_off_and_completes(reference):
+    """A token-bucket squeeze slows the conversation down but does not
+    change a single transcript byte: refused frames were never
+    processed, so the resend continues exactly where the protocol was."""
+    srv = ProverServer(F, rate_limit=(300.0, 8.0))
+    handle = srv.serve_in_thread()
+    try:
+        outcomes, client = run_workload(
+            *handle.address, fresh_dataset_id(),
+            retry=RetryPolicy(max_attempts=30, base_delay=0.005,
+                              max_delay=0.02),
+        )
+        assert srv.rate_limited >= 1
+        assert client.refusals >= 1
+        assert client.reconnects == 0  # backoff in place, no resync
+        assert_matches_reference(outcomes, reference)
+    finally:
+        handle.stop()
+
+
+def test_server_idle_timeout_sheds_and_client_resumes():
+    srv = ProverServer(F, idle_timeout=0.15)
+    handle = srv.serve_in_thread()
+    try:
+        client = ServiceClient(*handle.address, F, U, dataset_id=1,
+                               rng=random.Random(5), retry=FAST_RETRY)
+        with client:
+            client.provision(("f2",), 1)
+            client.send_updates(UPDATES)
+            time.sleep(0.4)  # the server sheds the silent connection
+            outcome = client.query(f2())[0]
+            assert outcome.result.accepted
+            assert client.reconnects >= 1
+            assert srv.timeouts >= 1
+    finally:
+        handle.stop()
+
+
+def test_server_frame_timeout_sends_structured_error():
+    srv = ProverServer(F, frame_timeout=0.1)
+    handle = srv.serve_in_thread()
+    try:
+        sock = socket.create_connection(handle.address, timeout=5.0)
+        try:
+            # A header promising 32 payload bytes that never arrive.
+            frame = sp.pack_frame(sp.T_STATS, 0, b"\0" * 32)
+            sock.sendall(frame[: sp.HEADER_LEN])
+            header = b""
+            while len(header) < sp.HEADER_LEN:
+                chunk = sock.recv(sp.HEADER_LEN - len(header))
+                assert chunk, "server closed without a structured error"
+                header += chunk
+            frame_type, _session, length = sp.unpack_header(header)
+            assert frame_type == sp.T_ERROR
+            payload = b""
+            while len(payload) < length:
+                payload += sock.recv(length - len(payload))
+            code, message = sp.parse_error_struct(payload)
+            assert code == sp.E_TIMEOUT
+            assert "timed out" in message
+            assert srv.timeouts >= 1
+        finally:
+            sock.close()
+    finally:
+        handle.stop()
+
+
+def test_max_frame_size_enforced_on_both_ends():
+    srv = ProverServer(F, max_payload=64)
+    handle = srv.serve_in_thread()
+    try:
+        client = ServiceClient(*handle.address, F, U, dataset_id=1,
+                               rng=random.Random(6), retry=NO_RETRY)
+        client.provision(("f2",), 1)
+        # 40 update pairs encode far beyond 64 payload bytes: the server
+        # rejects the header before allocating, as transport damage.
+        with pytest.raises(ServiceUnavailableError):
+            client.send_updates(UPDATES)
+        # The client-side knob rejects oversized *inbound* headers the
+        # same way, before any allocation.
+        big = sp.pack_frame(sp.T_P_REPLY, 1, b"\0" * 128)
+        with pytest.raises(sp.ServiceProtocolError):
+            sp.unpack_header(big[: sp.HEADER_LEN], max_payload=64)
+    finally:
+        handle.stop()
+
+
+# -- snapshot / restore --------------------------------------------------------
+
+
+def test_snapshot_restore_across_server_restart(tmp_path, server):
+    """Stop the server mid-session, restore a new one from its snapshot
+    behind the same proxy address: the client reconnects on its own and
+    the post-restart query is byte-identical to a never-restarted run."""
+    # Control: the same client life (two queries) with no restart.
+    control_client = ServiceClient(*server.address, F, U,
+                                   dataset_id=fresh_dataset_id(),
+                                   rng=random.Random(3), retry=FAST_RETRY)
+    with control_client:
+        control_client.provision(("f2",), 2)
+        control_client.send_updates(UPDATES)
+        first_control = control_client.query(f2())
+        second_control = control_client.query(f2())
+
+    srv1 = ProverServer(F)
+    handle1 = srv1.serve_in_thread()
+    proxy = ChaosProxy(*handle1.address)
+    proxy_handle = proxy.serve_in_thread()
+    path = tmp_path / "service.snapshot"
+    try:
+        client = ServiceClient(*proxy_handle.address, F, U,
+                               dataset_id=fresh_dataset_id(),
+                               rng=random.Random(3), retry=FAST_RETRY)
+        with client:
+            client.provision(("f2",), 2)
+            client.send_updates(UPDATES)
+            first = client.query(f2())
+
+            handle1.snapshot(path)
+            handle1.stop()
+
+            srv2 = ProverServer.from_snapshot(path, F)
+            handle2 = srv2.serve_in_thread()
+            try:
+                proxy_handle.retarget(handle2.server.port)
+                # The old connection is dead; the next query retries,
+                # reconnects through the proxy, lands on the restored
+                # dataset, and must reproduce the control bytes.
+                second = client.query(f2())
+                assert client.reconnects >= 1
+                assert srv2.registry.stats()["updates"] == len(UPDATES)
+            finally:
+                handle2.stop()
+        assert all(o.result.accepted for o in first + second)
+        assert [encode_transcript(F, o.transcript) for o in first] == \
+            [encode_transcript(F, o.transcript) for o in first_control]
+        assert [encode_transcript(F, o.transcript) for o in second] == \
+            [encode_transcript(F, o.transcript) for o in second_control]
+    finally:
+        proxy_handle.stop()
+        handle1.stop()
+
+
+def test_snapshot_rejects_field_and_version_mismatch(tmp_path):
+    from repro.field.modular import PrimeField
+    from repro.service.registry import RegistryError, SessionRegistry
+
+    registry = SessionRegistry(F)
+    registry.connect(U, 1)
+    registry.datasets[1].apply(0, [(3, 2)])
+    path = tmp_path / "snap.json"
+    registry.snapshot(path)
+
+    restored = SessionRegistry.restore(path, F)
+    assert restored.datasets[1].freq_a[3] == 2
+    assert restored.datasets[1].log == registry.datasets[1].log
+
+    with pytest.raises(RegistryError, match="Z_"):
+        SessionRegistry.restore(path, PrimeField((1 << 31) - 1))
+    import json
+    payload = json.loads(path.read_text())
+    payload["version"] = 99
+    path.write_text(json.dumps(payload))
+    with pytest.raises(RegistryError, match="version"):
+        SessionRegistry.restore(path, F)
+
+
+# -- worker-pool death and graceful degradation --------------------------------
+
+
+class _FlakyExecutor:
+    """A thread-pool wrapper that dies on scheduled submit calls.
+
+    Failures happen *at submission*, before the task runs — the
+    recovery contract re-runs only tasks that never executed.
+    """
+
+    def __init__(self, state):
+        self._real = ThreadPoolExecutor(max_workers=2)
+        self._state = state
+
+    def submit(self, fn, *args):
+        self._state["submits"] += 1
+        if self._state["submits"] in self._state["fail_at"]:
+            raise BrokenExecutor("injected worker-pool death")
+        return self._real.submit(fn, *args)
+
+    def shutdown(self, wait=True):
+        self._real.shutdown(wait=wait)
+
+
+def _flaky_factory(fail_at):
+    state = {"submits": 0, "made": 0, "fail_at": set(fail_at)}
+
+    def factory():
+        state["made"] += 1
+        return _FlakyExecutor(state)
+
+    return factory, state
+
+
+def _sequential_f2_reference(u, updates, point):
+    prover = DistributedF2Prover(F, u, num_workers=8)
+    prover.process_stream(updates)
+    verifier = F2Verifier(F, u, point=point)
+    verifier.process_stream(updates)
+    channel = Channel()
+    result = run_f2(prover, verifier, channel)
+    assert result.accepted
+    return result, channel.transcript.messages
+
+
+def test_pool_survives_worker_death_with_identical_transcript():
+    u = 1 << 8
+    stream = uniform_frequency_stream(u, max_frequency=9,
+                                      rng=random.Random(21))
+    updates = list(stream.updates())
+    point = F.rand_vector(random.Random(22), 8)
+    want, want_messages = _sequential_f2_reference(u, updates, point)
+
+    factory, state = _flaky_factory(fail_at={1, 20})
+    with PooledDistributedF2Prover(F, u, num_workers=8,
+                                   executor_factory=factory) as prover:
+        prover.process_stream(updates)
+        verifier = F2Verifier(F, u, point=point)
+        verifier.process_stream(updates)
+        channel = Channel()
+        got = run_f2(prover, verifier, channel)
+        assert prover.pool_failures == 2
+        assert prover.pool_restarts == 2
+        assert not prover._degraded
+
+    assert got.accepted and got.value == want.value
+    assert channel.transcript.messages == want_messages
+
+
+def test_pool_degrades_to_inline_after_repeated_death():
+    u = 1 << 8
+    stream = uniform_frequency_stream(u, max_frequency=9,
+                                      rng=random.Random(23))
+    updates = list(stream.updates())
+    point = F.rand_vector(random.Random(24), 8)
+    want, want_messages = _sequential_f2_reference(u, updates, point)
+
+    factory, state = _flaky_factory(fail_at=set(range(1, 10_000)))
+    with PooledDistributedF2Prover(F, u, num_workers=8,
+                                   executor_factory=factory) as prover:
+        prover.process_stream(updates)
+        verifier = F2Verifier(F, u, point=point)
+        verifier.process_stream(updates)
+        channel = Channel()
+        got = run_f2(prover, verifier, channel)
+        # Two rebuilds were spent, then the prover went in-process for
+        # good: no further executors are created.
+        assert prover._degraded
+        made_when_degraded = state["made"]
+
+    assert state["made"] == made_when_degraded
+    assert got.accepted and got.value == want.value
+    assert channel.transcript.messages == want_messages
+
+
+# -- the loadgen acceptance run ------------------------------------------------
+
+
+def test_loadgen_through_chaos_proxy_zero_visible_errors(server):
+    """The headline acceptance criterion: a loadgen run through a 10%
+    fault-rate proxy finishes with *zero* client-visible protocol errors
+    — only clean retries, refusals and reconnects — and every query
+    verifies."""
+    kinds = (KIND_DELAY,) * 8 + (KIND_DROP, KIND_CORRUPT)
+    schedule = SeededSchedule(CHAOS_SEED, rate=0.10, kinds=kinds,
+                              delay=0.001, stall=0.05)
+    proxy = ChaosProxy(*server.address, schedule=schedule)
+    handle = proxy.serve_in_thread()
+    try:
+        host, port = handle.address
+        report = run_load(
+            host, port, F, 1 << 8, sessions=3, updates_per_session=60,
+            concurrency=3, seed=CHAOS_SEED + 1,
+            dataset_base=40_000 + CHAOS_SEED * 10,
+            client_kwargs={
+                "retry": RetryPolicy(max_attempts=40, base_delay=0.003,
+                                     max_delay=0.02),
+                "op_timeout": 10.0,
+            },
+        )
+    finally:
+        handle.stop()
+    assert not report.failures, report.failures
+    assert report.queries_verified == report.queries_run > 0
+    assert proxy.faults_injected > 0
+    record = report.as_record()
+    assert record["errors"] == 0
+    assert record["query_p99_seconds"] >= record["query_p50_seconds"] > 0
+    assert record["retries"] == report.retries
+    assert record["reconnects"] == report.reconnects

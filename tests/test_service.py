@@ -31,6 +31,7 @@ from repro.field.modular import PrimeField
 from repro.field.vectorized import HAVE_NUMPY
 from repro.service import protocol as sp
 from repro.service import (
+    PoolConfigError,
     PooledDistributedF2Prover,
     ProverServer,
     QueryDescriptor,
@@ -644,6 +645,19 @@ def test_pooled_prover_rejects_bad_worker_counts():
         PooledDistributedF2Prover(F, 64, num_workers=3)
     with pytest.raises(ValueError):
         PooledDistributedF2Prover(F, 4, num_workers=4)
+
+
+def test_pooled_prover_rejects_bad_thread_configs():
+    with pytest.raises(PoolConfigError, match=">= 1"):
+        PooledDistributedF2Prover(F, 64, num_workers=4, max_threads=0)
+    with pytest.raises(PoolConfigError, match=">= 1"):
+        PooledDistributedF2Prover(F, 64, num_workers=4, max_threads=-2)
+    with pytest.raises(PoolConfigError, match="exceeds num_workers"):
+        PooledDistributedF2Prover(F, 64, num_workers=4, max_threads=8)
+    # The boundary is fine: one thread per worker.
+    with PooledDistributedF2Prover(F, 64, num_workers=4,
+                                   max_threads=4) as prover:
+        assert prover.max_threads == 4
 
 
 def test_service_f2_worker_pool_mode(server):

@@ -209,3 +209,57 @@ def test_transcript_wire_bytes_matches_protocol_run():
     assert total == result.transcript.total_words * 8 + 4 * len(
         result.transcript
     )
+
+
+# -- hostile length prefixes (robustness) --------------------------------------
+
+
+def test_oversized_declared_word_count_rejected_before_allocation():
+    """A damaged/hostile length prefix must die on the cap check, never
+    reach the per-word loop (which would try to allocate its claim)."""
+    from repro.comm.wire import MAX_MESSAGE_WORDS
+
+    huge = (MAX_MESSAGE_WORDS + 1).to_bytes(4, "big")
+    with pytest.raises(WireFormatError, match="cap"):
+        decode_words(F, huge)
+    # An unsigned parse of a "negative" 32-bit length is a huge count:
+    # same check, same rejection.
+    negative = (0xFFFFFFFF).to_bytes(4, "big")
+    with pytest.raises(WireFormatError, match="cap"):
+        decode_words(F, negative)
+
+
+def test_decode_words_max_words_knob():
+    frame = encode_words(F, [1, 2, 3, 4, 5])
+    assert decode_words(F, frame, max_words=5) == [1, 2, 3, 4, 5]
+    with pytest.raises(WireFormatError, match="cap"):
+        decode_words(F, frame, max_words=4)
+    # The knob can only tighten the global cap, never widen it.
+    from repro.comm.wire import MAX_MESSAGE_WORDS
+
+    huge = (MAX_MESSAGE_WORDS + 1).to_bytes(4, "big")
+    with pytest.raises(WireFormatError, match="cap"):
+        decode_words(F, huge, max_words=MAX_MESSAGE_WORDS * 16)
+
+
+def test_transcript_message_count_guard_precedes_decode_loop():
+    blob = bytearray(encode_transcript(F, Transcript()))
+    blob[6:10] = (1 << 31).to_bytes(4, "big")
+    with pytest.raises(WireFormatError, match="message count"):
+        decode_transcript(F, bytes(blob))
+
+
+def test_unpack_header_max_payload_knob():
+    from repro.service import protocol as sp
+
+    frame = sp.pack_frame(sp.T_UPDATES, 1, b"x" * 100)
+    header = frame[: sp.HEADER_LEN]
+    assert sp.unpack_header(header)[2] == 100
+    assert sp.unpack_header(header, max_payload=100)[2] == 100
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.unpack_header(header, max_payload=99)
+    # The knob tightens MAX_PAYLOAD; it cannot widen it.
+    huge = bytearray(header)
+    huge[8:12] = (sp.MAX_PAYLOAD + 1).to_bytes(4, "big")
+    with pytest.raises(sp.ServiceProtocolError):
+        sp.unpack_header(bytes(huge), max_payload=sp.MAX_PAYLOAD * 4)

@@ -200,3 +200,96 @@ def test_service_chaos_throughput(server, service_bench_recorder):
           "p50 %.3fs p99 %.3fs, %d errors"
           % (proxy.faults_injected, report.retries, report.reconnects,
              report.p50_latency, report.p99_latency, len(report.failures)))
+
+
+def test_cluster_load_node_kills(service_bench_recorder, tmp_path):
+    """The headline cluster record: a replicated 3-node cluster behind
+    the consistent-hash router, with two seeded node kills mid-run and
+    the supervisor healing in the background — zero client-visible
+    errors while real nodes die.
+
+    Full mode runs real ``python -m repro.service`` subprocesses
+    (SIGKILL, restart from periodic snapshot, peer resync); smoke mode
+    uses in-process thread nodes to stay fast.
+    """
+    from repro.service import (
+        ClusterNode,
+        ClusterRouter,
+        NodeSupervisor,
+        ProcessNodeManager,
+        RetryPolicy,
+        ThreadNodeManager,
+        run_cluster_load,
+    )
+
+    seed = int(os.environ.get("REPRO_CLUSTER_SEED", "0"))
+    if service_smoke():
+        u, sessions, updates, concurrency = 1 << 8, 4, 200, 2
+        manager = ThreadNodeManager(F, snapshot_dir=str(tmp_path))
+    else:
+        u, sessions, updates, concurrency = 1 << 12, 12, 2000, 3
+        manager = ProcessNodeManager(
+            F, snapshot_dir=str(tmp_path),
+            extra_args=["--snapshot-interval", "0.2"],
+        )
+    node_ids = ["b0", "b1", "b2"]
+    nodes = [
+        ClusterNode(node_id, *manager.add_node(node_id))
+        for node_id in node_ids
+    ]
+    router = ClusterRouter(F, nodes, replication_factor=2,
+                           heartbeat_interval=0.05, backend_timeout=5.0)
+    handle = router.serve_in_thread()
+    supervisor = NodeSupervisor(handle, manager, F, poll_interval=0.05)
+    supervisor.start()
+    try:
+        victims = random.Random(seed).sample(node_ids, 2)
+
+        def kill_when_healed(victim):
+            # Replication factor 2: overlapping kills could take out a
+            # dataset's last in-sync holder, so the second kill waits
+            # for the first heal to land.
+            deadline = time.monotonic() + 15.0
+            while (supervisor.heals < 1
+                   or set(handle.health_view().values()) != {"alive"}) \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            manager.kill(victim)
+
+        report = run_cluster_load(
+            *handle.address, F, u,
+            nodes=len(nodes), replication_factor=2,
+            kill_schedule=[
+                (0.05, lambda: manager.kill(victims[0])),
+                (0.20, lambda: kill_when_healed(victims[1])),
+            ],
+            sessions=sessions, updates_per_session=updates,
+            concurrency=concurrency, seed=seed + 1, dataset_base=9000,
+            client_kwargs={
+                "retry": RetryPolicy(max_attempts=60, base_delay=0.01,
+                                     max_delay=0.08),
+                "op_timeout": 10.0,
+            },
+        )
+        report.failovers = handle.stats()["failovers"]
+        report.resyncs = supervisor.resyncs
+        # The scenario ends with every node healed and back on the ring.
+        deadline = time.monotonic() + 15.0
+        while set(handle.health_view().values()) != {"alive"}:
+            assert time.monotonic() < deadline, handle.health_view()
+            time.sleep(0.05)
+    finally:
+        supervisor.stop()
+        handle.stop()
+        manager.stop_all()
+    assert not report.failures, report.failures
+    assert report.queries_verified == report.queries_run > 0
+    record = {"measure": "cluster_load_kills", "u": u,
+              "concurrency": concurrency, "kill_seed": seed,
+              "restarts": supervisor.restarts, **report.as_record()}
+    service_bench_recorder.append(record)
+    print("\ncluster load: %d nodes x%d, %d kills, %d failovers, "
+          "%d resyncs, %.0f updates/s, %d errors"
+          % (report.nodes, report.replication_factor, report.node_kills,
+             report.failovers, report.resyncs, report.updates_per_second,
+             len(report.failures)))

@@ -19,7 +19,13 @@ powerful server and verifying its answers):
 * :mod:`repro.service.pool` — the sharded prover's map step on a thread
   pool (NumPy releases the GIL): wall-clock Map-Reduce scaling with
   byte-identical transcripts;
-* :mod:`repro.service.loadgen` — many concurrent sessions, measured.
+* :mod:`repro.service.loadgen` — many concurrent sessions, measured;
+* :mod:`repro.service.ring` / :mod:`repro.service.cluster` /
+  :mod:`repro.service.supervisor` — the self-healing replicated
+  cluster: a consistent-hash router fanning updates to every replica
+  and failing queries over between nodes, plus the supervisor that
+  restarts dead nodes from snapshots and resyncs their missed update
+  tails from peers before readmitting them.
 """
 
 from repro.service.client import (
@@ -32,11 +38,18 @@ from repro.service.client import (
     ServiceClientError,
     ServiceUnavailableError,
 )
-from repro.service.faults import ChaosProxy, Fault, FaultSchedule
-from repro.service.loadgen import LoadReport, run_load
+from repro.service.cluster import ClusterNode, ClusterRouter, RouterHandle
+from repro.service.faults import (
+    BlackoutSchedule,
+    ChaosProxy,
+    Fault,
+    FaultSchedule,
+)
+from repro.service.loadgen import LoadReport, run_cluster_load, run_load
 from repro.service.pool import PoolConfigError, PooledDistributedF2Prover
 from repro.service.protocol import ServiceProtocolError
 from repro.service.registry import AdmissionError, SessionRegistry
+from repro.service.ring import HashRing
 from repro.service.router import (
     QueryDescriptor,
     QueryRouter,
@@ -53,14 +66,26 @@ from repro.service.router import (
     successor,
 )
 from repro.service.server import ProverServer, ServiceError
+from repro.service.supervisor import (
+    NodeSupervisor,
+    ProcessNodeManager,
+    SupervisorError,
+    ThreadNodeManager,
+)
 
 __all__ = [
     "AdmissionError",
+    "BlackoutSchedule",
     "ChaosProxy",
+    "ClusterNode",
+    "ClusterRouter",
     "Fault",
     "FaultSchedule",
+    "HashRing",
     "LoadReport",
     "NO_RETRY",
+    "NodeSupervisor",
+    "ProcessNodeManager",
     "PoolConfigError",
     "PooledDistributedF2Prover",
     "ProverServer",
@@ -69,6 +94,7 @@ __all__ = [
     "QueryOutcome",
     "QueryRouter",
     "RetryPolicy",
+    "RouterHandle",
     "RoutingError",
     "ServiceBusyError",
     "ServiceClient",
@@ -77,6 +103,8 @@ __all__ = [
     "ServiceProtocolError",
     "ServiceUnavailableError",
     "SessionRegistry",
+    "SupervisorError",
+    "ThreadNodeManager",
     "f2",
     "fk",
     "heavy_hitters",
@@ -86,6 +114,7 @@ __all__ = [
     "predecessor",
     "range_scan",
     "range_sum",
+    "run_cluster_load",
     "run_load",
     "successor",
 ]

@@ -403,6 +403,13 @@ class ServiceClient:
     max_payload:
         Frame-size knob enforced on every received header before
         allocating (mirrors the server's).
+    addresses:
+        Optional bootstrap list of additional ``(host, port)`` service
+        endpoints (cluster routers, standby servers).  When a dial
+        fails, the client rotates to the next address before the retry
+        — so a fleet configured with every router's address rides out a
+        router outage without reconfiguration.  ``(host, port)`` is
+        always tried first.
     """
 
     def __init__(
@@ -419,6 +426,7 @@ class ServiceClient:
         op_timeout: float = 30.0,
         retry: Optional[RetryPolicy] = None,
         max_payload: int = sp.MAX_PAYLOAD,
+        addresses: Optional[Sequence[Tuple[str, int]]] = None,
     ):
         self.field = field
         self.u = u
@@ -434,6 +442,11 @@ class ServiceClient:
         self.updates_streamed = 0
         self._host = host
         self._port = port
+        #: Bootstrap rotation: every endpoint this client may dial, the
+        #: primary first.  A failed dial advances to the next one.
+        self._addresses: List[Tuple[str, int]] = [(host, port)]
+        self._addresses.extend(addresses or [])
+        self._address_index = 0
         self._connect_timeout = timeout
         self.op_timeout = op_timeout
         self.retry = retry or RetryPolicy()
@@ -492,6 +505,13 @@ class ServiceClient:
                 (self._host, self._port), timeout=self._connect_timeout
             )
         except OSError as exc:
+            if len(self._addresses) > 1:
+                # Rotate to the next bootstrap endpoint so the retry
+                # (ours or a caller's) dials somewhere else.
+                self._address_index = \
+                    (self._address_index + 1) % len(self._addresses)
+                self._host, self._port = \
+                    self._addresses[self._address_index]
             raise self._unavailable("dial failed: %s" % exc) from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock.settimeout(self.op_timeout)

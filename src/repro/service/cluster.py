@@ -1,0 +1,795 @@
+"""The cluster router: one front process over N replicated prover nodes.
+
+``ClusterRouter`` assembles PR 6's robustness building blocks into a
+self-healing cluster.  It owns a consistent-hash :class:`~repro.service.
+ring.HashRing` over the backend :class:`~repro.service.server.
+ProverServer` nodes and speaks the ordinary service frame protocol to
+clients — a :class:`~repro.service.client.ServiceClient` pointed at the
+router cannot tell it from a single server, which is the point: every
+client-side recovery behaviour (retries, reconnects, pristine-verifier
+query re-runs, replay resume) composes unchanged with cluster failover.
+
+Placement and replication follow the partitioned-keyspace idiom: a
+dataset id hashes onto the ring and is assigned to ``replication_factor``
+distinct nodes in clockwise order.  **Updates fan out synchronously to
+every in-sync replica** (the client's ack covers all of them, so per
+dataset — which has a single writer, the standing service assumption —
+every replica log is a prefix of the writer's sequence).  **Queries are
+served by the primary**: the first healthy in-sync replica in ring
+order.
+
+Failure handling:
+
+* a heartbeat task probes every node with ``H_PING``; a missed probe
+  marks it *suspect* (no new conversations routed to it), repeated
+  misses or any relay error mark it *dead*;
+* a dead primary mid-conversation aborts the client's connection — the
+  client's retry layer reconnects, lands on the next replica in ring
+  order, and re-runs its query from the pristine verifier snapshot, so
+  the recovered transcript is byte-identical to a fault-free run;
+* a dead node stops receiving the update fan-out, so its data goes
+  stale; it is **not** readmitted by a mere successful probe.  The
+  :class:`~repro.service.supervisor.NodeSupervisor` restarts it from its
+  latest snapshot, pulls the missed update tail from a peer replica
+  (hinted handoff — the peers' logs are the hint store) and only then
+  calls :meth:`RouterHandle.readmit`, which re-marks each dataset
+  in-sync under the router's single-threaded loop with no fan-out in
+  flight — closing the race between "counts matched" and "node rejoins
+  the fan-out".
+
+Per-dataset sync state (rather than a single node-level flag) keeps
+readmission incremental: a recovering node rejoins dataset by dataset as
+each one quiesces, instead of waiting for a global quiet moment that a
+busy cluster never reaches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.field.modular import PrimeField
+from repro.service import protocol as sp
+from repro.service.ring import DEFAULT_VNODES, HashRing
+
+#: Node health states.
+NODE_ALIVE = "alive"      # routable, receives fan-out
+NODE_SUSPECT = "suspect"  # receives fan-out, but no *new* conversations
+NODE_DEAD = "dead"        # out of everything until supervisor readmission
+
+#: Errors that mean "this backend just failed us".
+_BACKEND_ERRORS = (
+    asyncio.TimeoutError,
+    asyncio.IncompleteReadError,
+    ConnectionError,
+    OSError,
+    sp.ServiceProtocolError,
+)
+
+
+@dataclass
+class ClusterNode:
+    """One backend's identity and routing address.
+
+    The address is where the *router* dials the node — in chaos tests
+    that is a per-node :class:`~repro.service.faults.ChaosProxy`, so a
+    node can be killed at an exact frame boundary while the supervisor
+    still reaches the real process for resync.
+    """
+
+    node_id: str
+    host: str
+    port: int
+
+
+class _Health:
+    def __init__(self) -> None:
+        self.state = NODE_ALIVE
+        self.missed = 0
+        self.probes_ok = 0
+        self.probes_failed = 0
+        #: Incarnation counter, bumped at every readmission: a relay
+        #: error on a link dialed in an *earlier* incarnation says
+        #: nothing about the restarted node, so it aborts only its own
+        #: conversation instead of re-killing a freshly healed backend.
+        self.epoch = 0
+
+
+class _DatasetMeta:
+    """The router's authoritative view of one dataset."""
+
+    def __init__(self, u: int, updates: int) -> None:
+        self.u = u
+        #: Update-log length on every in-sync replica (the router acks a
+        #: client block only after all of them applied it).
+        self.updates = updates
+        #: Fan-outs currently in flight; readmission for this dataset
+        #: waits for zero so no straddling block can slip past a count
+        #: comparison.
+        self.inflight = 0
+
+
+class _PrimaryDown(Exception):
+    """The conversation's primary failed; abort and let the client retry."""
+
+
+class _BackendLink:
+    """One framed connection from the router to a backend node."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, timeout: Optional[float]):
+        self._reader = reader
+        self._writer = writer
+        self._timeout = timeout
+
+    @classmethod
+    async def dial(cls, host: str, port: int,
+                   timeout: Optional[float]) -> "_BackendLink":
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        return cls(reader, writer, timeout)
+
+    async def read_frame(self) -> Tuple[int, int, bytes, bytes]:
+        header = await asyncio.wait_for(
+            self._reader.readexactly(sp.HEADER_LEN), self._timeout
+        )
+        frame_type, session_id, length = sp.unpack_header(header)
+        payload = b""
+        if length:
+            payload = await asyncio.wait_for(
+                self._reader.readexactly(length), self._timeout
+            )
+        return frame_type, session_id, header, payload
+
+    async def send(self, frame: bytes) -> None:
+        self._writer.write(frame)
+        await asyncio.wait_for(self._writer.drain(), self._timeout)
+
+    async def request(self, frame: bytes) -> Tuple[int, int, bytes, bytes]:
+        await self.send(frame)
+        return await self.read_frame()
+
+    def close(self) -> None:
+        try:
+            self._writer.close()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+
+
+class ClusterRouter:
+    """Consistent-hash front process over replicated prover backends.
+
+    Parameters
+    ----------
+    field:
+        The cluster-wide prime field (used to encode router-originated
+        frames; backends validate the client's field themselves).
+    nodes:
+        The backend membership.  All start ``alive``; health checks take
+        it from there.
+    replication_factor:
+        Replicas per dataset (capped at the node count).
+    heartbeat_interval:
+        Seconds between ``H_PING`` probe rounds; ``None`` disables the
+        prober (tests that want deterministic frame counts detect death
+        through relay errors alone).
+    dead_after:
+        Missed probes before a suspect node is declared dead.  Any relay
+        error or refused dial kills it immediately.
+    backend_timeout:
+        Deadline on every router-to-backend operation.
+    """
+
+    def __init__(self, field: PrimeField, nodes: Sequence[ClusterNode],
+                 replication_factor: int = 2,
+                 vnodes: int = DEFAULT_VNODES,
+                 heartbeat_interval: Optional[float] = 0.25,
+                 probe_timeout: float = 2.0,
+                 dead_after: int = 2,
+                 backend_timeout: float = 10.0,
+                 host: str = "127.0.0.1", port: int = 0):
+        if not nodes:
+            raise ValueError("a cluster needs at least one node")
+        if replication_factor < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.field = field
+        self.nodes: Dict[str, ClusterNode] = {}
+        for node in nodes:
+            if node.node_id in self.nodes:
+                raise ValueError("duplicate node id %r" % node.node_id)
+            self.nodes[node.node_id] = node
+        self.replication_factor = min(replication_factor, len(self.nodes))
+        self.ring = HashRing(sorted(self.nodes), vnodes=vnodes)
+        self.health: Dict[str, _Health] = {
+            node_id: _Health() for node_id in self.nodes
+        }
+        #: Datasets each node is known in-sync for (receives fan-out,
+        #: may serve as primary).  Cleared on death; repopulated one
+        #: dataset at a time by supervisor readmission.
+        self.synced: Dict[str, Set[int]] = {
+            node_id: set() for node_id in self.nodes
+        }
+        self.datasets: Dict[int, _DatasetMeta] = {}
+        self.heartbeat_interval = heartbeat_interval
+        self.probe_timeout = probe_timeout
+        self.dead_after = dead_after
+        self.backend_timeout = backend_timeout
+        self.host = host
+        self.port = port
+        #: Client conversations aborted by a primary failure (each one
+        #: is a mid-conversation failover: the client's retry lands on a
+        #: replica).
+        self.failovers = 0
+        #: Mirror fan-out legs dropped on a node failure.
+        self.fanout_errors = 0
+        self.connections = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
+
+    # -- placement -----------------------------------------------------------
+
+    @staticmethod
+    def _key(dataset_id: int) -> str:
+        return "dataset:%d" % dataset_id
+
+    def replicas(self, dataset_id: int) -> List[str]:
+        """Ring-assigned replica node ids for a dataset, failover order."""
+        return self.ring.replicas(self._key(dataset_id),
+                                  self.replication_factor)
+
+    def _eligible(self, node_id: str, dataset_id: int,
+                  state: str) -> bool:
+        if self.health[node_id].state != state:
+            return False
+        meta = self.datasets.get(dataset_id)
+        if meta is None or meta.updates == 0:
+            # A dataset with no data yet needs no resync anywhere.
+            return True
+        return dataset_id in self.synced[node_id]
+
+    def _pick_primary(self, dataset_id: int,
+                      replicas: Sequence[str]) -> Optional[str]:
+        for state in (NODE_ALIVE, NODE_SUSPECT):
+            for node_id in replicas:
+                if self._eligible(node_id, dataset_id, state):
+                    return node_id
+        return None
+
+    def _ensure_dataset(self, dataset_id: int, u: int, ack_updates: int,
+                        replicas: Sequence[str],
+                        primary_id: str) -> _DatasetMeta:
+        meta = self.datasets.get(dataset_id)
+        if meta is None:
+            meta = self.datasets[dataset_id] = _DatasetMeta(u, ack_updates)
+            if ack_updates == 0:
+                # Born empty under this router: every live replica sees
+                # the stream from update zero, so all start in sync.
+                for node_id in replicas:
+                    if self.health[node_id].state != NODE_DEAD:
+                        self.synced[node_id].add(dataset_id)
+            else:
+                # Pre-router data: only the node that reported it is
+                # known good; peers join via supervisor resync.
+                self.synced[primary_id].add(dataset_id)
+        else:
+            if ack_updates > meta.updates:
+                meta.updates = ack_updates
+            self.synced[primary_id].add(dataset_id)
+        return meta
+
+    # -- health --------------------------------------------------------------
+
+    def _node_failed(self, node_id: str) -> None:
+        """A relay error or refused dial: the node is dead *now*."""
+        health = self.health[node_id]
+        if health.state != NODE_DEAD:
+            health.state = NODE_DEAD
+            health.missed = self.dead_after
+            # Out of the fan-out, so its data goes stale immediately:
+            # forget every sync mark; only readmission restores them.
+            self.synced[node_id].clear()
+
+    async def _probe(self, node: ClusterNode) -> bool:
+        link = None
+        try:
+            link = await _BackendLink.dial(node.host, node.port,
+                                           self.probe_timeout)
+            frame_type, _s, _h, _p = await link.request(
+                sp.pack_frame(sp.H_PING, 0)
+            )
+            return frame_type == sp.H_STATUS
+        except _BACKEND_ERRORS:
+            return False
+        finally:
+            if link is not None:
+                link.close()
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            for node_id, node in list(self.nodes.items()):
+                health = self.health[node_id]
+                if health.state == NODE_DEAD:
+                    continue  # the supervisor owns dead nodes
+                if await self._probe(node):
+                    health.probes_ok += 1
+                    health.missed = 0
+                    # A suspect that answers again never left the
+                    # fan-out, so no data was missed: plain revival.
+                    health.state = NODE_ALIVE
+                else:
+                    health.probes_failed += 1
+                    health.missed += 1
+                    if health.missed >= self.dead_after:
+                        self._node_failed(node_id)
+                    else:
+                        health.state = NODE_SUSPECT
+
+    # -- readmission ---------------------------------------------------------
+
+    async def _readmit(self, node_id: str, counts: Dict[int, int],
+                       address: Optional[Tuple[str, int]] = None
+                       ) -> Dict[int, Tuple[int, int]]:
+        """Supervisor entry point: try to bring a node back.
+
+        ``counts`` is the node's per-dataset update count after the
+        supervisor's tail resync.  Runs on the router loop; for each
+        ring-assigned dataset with **no fan-out in flight**, the count
+        comparison and the sync flag flip happen with no ``await``
+        between them, so a block can neither slip past the check nor
+        double-apply.  Returns the still-lagging datasets as
+        ``{dataset id: (u, router count)}`` — empty means fully
+        readmitted.
+        """
+        if node_id not in self.nodes:
+            raise KeyError("unknown node %r" % node_id)
+        if address is not None:
+            self.nodes[node_id].host, self.nodes[node_id].port = address
+        lag: Dict[int, Tuple[int, int]] = {}
+        synced = self.synced[node_id]
+        for dataset_id, meta in self.datasets.items():
+            if node_id not in self.replicas(dataset_id):
+                continue
+            if dataset_id in synced:
+                continue
+            if meta.inflight or counts.get(dataset_id, 0) != meta.updates:
+                lag[dataset_id] = (meta.u, meta.updates)
+                continue
+            synced.add(dataset_id)
+        health = self.health[node_id]
+        if health.state != NODE_ALIVE:
+            # A new incarnation only at the dead-to-alive flip: repeat
+            # readmissions of an already-live node (the supervisor
+            # closing remaining sync holes) are the same incarnation.
+            health.epoch += 1
+        health.state = NODE_ALIVE
+        health.missed = 0
+        return lag
+
+    def _mark_dead(self, node_id: str) -> None:
+        self._node_failed(node_id)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.heartbeat_interval is not None:
+            self._heartbeat_task = asyncio.ensure_future(
+                self._heartbeat_loop()
+            )
+
+    async def stop(self) -> None:
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def serve_in_thread(self) -> "RouterHandle":
+        started = threading.Event()
+        loop_holder = {}
+
+        def run():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            loop_holder["loop"] = loop
+            loop.run_until_complete(self.start())
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.stop())
+                loop.close()
+
+        thread = threading.Thread(target=run, name="repro-cluster-router",
+                                  daemon=True)
+        thread.start()
+        started.wait()
+        return RouterHandle(self, thread, loop_holder["loop"])
+
+    # -- statistics ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        states = [h.state for h in self.health.values()]
+        return {
+            "nodes": len(self.nodes),
+            "alive": states.count(NODE_ALIVE),
+            "suspect": states.count(NODE_SUSPECT),
+            "dead": states.count(NODE_DEAD),
+            "datasets": len(self.datasets),
+            "failovers": self.failovers,
+            "fanout_errors": self.fanout_errors,
+            "connections": self.connections,
+        }
+
+    # -- the client conversation ---------------------------------------------
+
+    async def _read_client_frame(self, reader: asyncio.StreamReader
+                                 ) -> Tuple[int, int, bytes, bytes]:
+        header = await reader.readexactly(sp.HEADER_LEN)
+        frame_type, session_id, length = sp.unpack_header(header)
+        payload = await reader.readexactly(length) if length else b""
+        return frame_type, session_id, header, payload
+
+    def _router_status_frame(self) -> bytes:
+        inventory = [
+            (dataset_id, meta.u, meta.updates)
+            for dataset_id, meta in sorted(self.datasets.items())
+        ]
+        return sp.pack_frame(
+            sp.H_STATUS, 0,
+            sp.status_payload(self.field, self.connections, 0, 0, inventory),
+        )
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        conversation = _Conversation(self)
+        try:
+            await conversation.run(reader, writer)
+        except _PrimaryDown:
+            self.failovers += 1
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        except sp.ServiceProtocolError as exc:
+            try:
+                writer.write(sp.pack_frame(
+                    sp.T_ERROR, 0,
+                    sp.error_payload(str(exc), sp.E_TRANSPORT),
+                ))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            conversation.close()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+
+class _Conversation:
+    """One client connection relayed onto one primary + its mirrors."""
+
+    def __init__(self, router: ClusterRouter):
+        self.router = router
+        self.primary_id: Optional[str] = None
+        self.primary: Optional[_BackendLink] = None
+        self.primary_epoch = 0
+        #: node id -> (link, mirror session id, node epoch at dial);
+        #: opened lazily so a replica readmitted mid-conversation joins
+        #: at its next block.
+        self.mirrors: Dict[str, Tuple[_BackendLink, int, int]] = {}
+        self.dataset_id: Optional[int] = None
+        self.hello_payload = b""
+        self.meta: Optional[_DatasetMeta] = None
+        self.replica_ids: List[str] = []
+
+    def close(self) -> None:
+        if self.primary is not None:
+            self.primary.close()
+        for link, _session, _epoch in self.mirrors.values():
+            link.close()
+        self.mirrors.clear()
+
+    # -- primary plumbing ----------------------------------------------------
+
+    def _primary_failed(self) -> None:
+        if self.primary_id is not None and \
+                self.router.health[self.primary_id].epoch \
+                == self.primary_epoch:
+            self.router._node_failed(self.primary_id)
+        raise _PrimaryDown()
+
+    async def _primary_request(self, frame: bytes
+                               ) -> Tuple[int, int, bytes, bytes]:
+        try:
+            return await self.primary.request(frame)
+        except _BACKEND_ERRORS:
+            self._primary_failed()
+
+    # -- conversation --------------------------------------------------------
+
+    async def run(self, reader: asyncio.StreamReader,
+                  writer: asyncio.StreamWriter) -> None:
+        router = self.router
+        frame_type, _session, header, payload = \
+            await router._read_client_frame(reader)
+        if frame_type == sp.H_PING:
+            writer.write(router._router_status_frame())
+            await writer.drain()
+            return
+        if frame_type != sp.T_HELLO:
+            writer.write(sp.pack_frame(
+                sp.T_ERROR, 0,
+                sp.error_payload(
+                    "a cluster conversation opens with HELLO",
+                    sp.E_GENERIC,
+                ),
+            ))
+            await writer.drain()
+            return
+
+        _p, u, dataset_id = sp.parse_hello(payload)
+        self.dataset_id = dataset_id
+        self.hello_payload = payload
+        self.replica_ids = router.replicas(dataset_id)
+        self.primary_id = router._pick_primary(dataset_id, self.replica_ids)
+        if self.primary_id is None:
+            # Every replica is down: a clean, retryable refusal — the
+            # client backs off while the supervisor restores a node.
+            writer.write(sp.pack_frame(
+                sp.T_ERROR, 0,
+                sp.error_payload(
+                    "no live replica for dataset %d; retry after backoff"
+                    % dataset_id,
+                    sp.E_BUSY,
+                ),
+            ))
+            await writer.drain()
+            return
+
+        node = router.nodes[self.primary_id]
+        self.primary_epoch = router.health[self.primary_id].epoch
+        try:
+            self.primary = await _BackendLink.dial(
+                node.host, node.port, router.backend_timeout
+            )
+        except _BACKEND_ERRORS:
+            self._primary_failed()
+        reply_type, _rs, reply_header, reply_payload = \
+            await self._primary_request(header + payload)
+        writer.write(reply_header + reply_payload)
+        await writer.drain()
+        if reply_type != sp.T_HELLO_ACK:
+            return
+        ack_words = sp.parse_words(router.field, reply_payload)
+        self.meta = router._ensure_dataset(
+            dataset_id, u, ack_words[0] if ack_words else 0,
+            self.replica_ids, self.primary_id,
+        )
+
+        while True:
+            frame_type, _session, header, payload = \
+                await router._read_client_frame(reader)
+            if frame_type == sp.T_UPDATES:
+                await self._fanout_updates(writer, header, payload)
+            elif frame_type == sp.T_REPLAY_REQUEST:
+                await self._relay_replay(writer, header, payload)
+            elif frame_type == sp.T_BYE:
+                try:
+                    _t, _s, rh, rp = await self.primary.request(
+                        header + payload
+                    )
+                    writer.write(rh + rp)
+                    await writer.drain()
+                except _BACKEND_ERRORS:
+                    pass  # the session is over either way
+                return
+            else:
+                _t, _s, rh, rp = await self._primary_request(header + payload)
+                writer.write(rh + rp)
+                await writer.drain()
+
+    async def _relay_replay(self, writer, header: bytes,
+                            payload: bytes) -> None:
+        """Replay is the one multi-frame reply: relay until END/ERROR."""
+        try:
+            await self.primary.send(header + payload)
+            while True:
+                frame_type, _s, rh, rp = await self.primary.read_frame()
+                writer.write(rh + rp)
+                if frame_type in (sp.T_REPLAY_END, sp.T_ERROR):
+                    break
+        except _BACKEND_ERRORS:
+            self._primary_failed()
+        await writer.drain()
+
+    # -- replication ---------------------------------------------------------
+
+    async def _open_mirror(self, node_id: str
+                           ) -> Tuple[_BackendLink, int, int]:
+        node = self.router.nodes[node_id]
+        epoch = self.router.health[node_id].epoch
+        link = await _BackendLink.dial(node.host, node.port,
+                                       self.router.backend_timeout)
+        try:
+            frame_type, session_id, _h, _p = await link.request(
+                sp.pack_frame(sp.T_HELLO, 0, self.hello_payload)
+            )
+        except _BACKEND_ERRORS:
+            link.close()
+            raise
+        if frame_type != sp.T_HELLO_ACK:
+            link.close()
+            raise sp.ServiceProtocolError(
+                "mirror %s refused the session" % node_id
+            )
+        return link, session_id, epoch
+
+    async def _fanout_updates(self, writer, header: bytes,
+                              payload: bytes) -> None:
+        """One client update block onto the primary and every mirror.
+
+        The primary applies first (its ack carries the authoritative
+        log length); each in-sync mirror then applies the same block on
+        its own session and must ack the *same* length — a mismatch is
+        divergence and kills the mirror on the spot, shrinking the
+        replica set rather than serving two truths.  Only after every
+        leg lands is the primary's ack relayed to the client, so the
+        single writer cannot advance past a block any replica is
+        missing.
+        """
+        router = self.router
+        self.meta.inflight += 1
+        try:
+            try:
+                reply_type, _s, rh, rp = await self.primary.request(
+                    header + payload
+                )
+            except _BACKEND_ERRORS:
+                self._primary_failed()
+            if reply_type != sp.T_UPDATES_ACK:
+                # Semantic rejection (bad key etc.): relay it, apply
+                # nowhere else.
+                writer.write(rh + rp)
+                await writer.drain()
+                return
+            ack_words = sp.parse_words(router.field, rp)
+            total = ack_words[0] if ack_words else None
+
+            for node_id in self.replica_ids:
+                if node_id == self.primary_id:
+                    continue
+                if router.health[node_id].state == NODE_DEAD:
+                    continue
+                if self.dataset_id not in router.synced[node_id]:
+                    continue
+                for _attempt in range(2):
+                    try:
+                        entry = self.mirrors.get(node_id)
+                        if entry is None:
+                            entry = await self._open_mirror(node_id)
+                            self.mirrors[node_id] = entry
+                        link, mirror_session, _link_epoch = entry
+                        mirror_type, _ms, _mh, mp = await link.request(
+                            sp.pack_frame(sp.T_UPDATES, mirror_session,
+                                          payload)
+                        )
+                        if mirror_type != sp.T_UPDATES_ACK:
+                            raise sp.ServiceProtocolError(
+                                "mirror %s refused an update block"
+                                % node_id
+                            )
+                        mirror_words = sp.parse_words(router.field, mp)
+                        if total is not None and (
+                            not mirror_words or mirror_words[0] != total
+                        ):
+                            raise sp.ServiceProtocolError(
+                                "mirror %s diverged: %r != %r"
+                                % (node_id, mirror_words, total)
+                            )
+                        break
+                    except _BACKEND_ERRORS:
+                        stale = self.mirrors.pop(node_id, None)
+                        if stale is not None:
+                            stale[0].close()
+                        if stale is not None and \
+                                stale[2] != router.health[node_id].epoch:
+                            # The link predates the node's current
+                            # incarnation (it was healed since): redial
+                            # — the block must still reach the replica,
+                            # and the failure says nothing about the
+                            # restarted process.
+                            continue
+                        # A failed or diverged mirror leaves the replica
+                        # set; peers keep the data and the supervisor
+                        # resyncs it from them.
+                        router.fanout_errors += 1
+                        router._node_failed(node_id)
+                        break
+            if total is not None:
+                self.meta.updates = total
+            writer.write(rh + rp)
+            await writer.drain()
+        finally:
+            self.meta.inflight -= 1
+
+
+class RouterHandle:
+    """A running threaded router: address, health view, readmission."""
+
+    def __init__(self, router: ClusterRouter, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop):
+        self.router = router
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.router.host, self.router.port)
+
+    def _run(self, coro, timeout: float = 30.0):
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=timeout)
+
+    def health_view(self) -> Dict[str, str]:
+        """``{node id: state}`` as of now."""
+        return {
+            node_id: health.state
+            for node_id, health in self.router.health.items()
+        }
+
+    def assigned_datasets(self, node_id: str) -> Dict[int, Tuple[int, int]]:
+        """``{dataset id: (u, router update count)}`` the ring puts on
+        a node — the supervisor's resync work list."""
+        return {
+            dataset_id: (meta.u, meta.updates)
+            for dataset_id, meta in self.router.datasets.items()
+            if node_id in self.router.replicas(dataset_id)
+        }
+
+    def sync_sources(self, dataset_id: int,
+                     exclude: str) -> List[str]:
+        """In-sync live replicas a recovering node can pull a tail from."""
+        router = self.router
+        meta = router.datasets.get(dataset_id)
+        return [
+            node_id
+            for node_id in router.replicas(dataset_id)
+            if node_id != exclude
+            and router.health[node_id].state != NODE_DEAD
+            and (meta is None or meta.updates == 0
+                 or dataset_id in router.synced[node_id])
+        ]
+
+    def mark_dead(self, node_id: str) -> None:
+        """Declare a node dead (tests; the relay path does it itself)."""
+        self._loop.call_soon_threadsafe(self.router._mark_dead, node_id)
+
+    def readmit(self, node_id: str, counts: Dict[int, int],
+                address: Optional[Tuple[str, int]] = None
+                ) -> Dict[int, Tuple[int, int]]:
+        """Attempt readmission; returns still-lagging datasets (empty =
+        the node is fully back in the replica set)."""
+        return self._run(self.router._readmit(node_id, counts, address))
+
+    def stats(self) -> Dict[str, int]:
+        return self.router.stats()
+
+    def stop(self) -> None:
+        if not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            except RuntimeError:
+                pass
+        self._thread.join(timeout=10)

@@ -73,6 +73,15 @@ class FaultSchedule:
                frame_type: int) -> Optional[Fault]:
         return None
 
+    def accepting(self) -> bool:
+        """May the proxy accept *new* connections right now?
+
+        The base schedule always says yes; :class:`BlackoutSchedule`
+        says no while its node plays dead, so redials are refused the
+        way a crashed process refuses them.
+        """
+        return True
+
     @staticmethod
     def scripted(plan: Dict[int, Union[Fault, str]]) -> "ScriptedSchedule":
         return ScriptedSchedule(plan)
@@ -134,6 +143,45 @@ class SeededSchedule(FaultSchedule):
         if kind == KIND_STALL:
             return Fault(kind, self.stall)
         return Fault(kind)
+
+
+class BlackoutSchedule(FaultSchedule):
+    """A node-death switch: healthy, then *gone*, then healthy again.
+
+    Wrap each cluster backend in a :class:`ChaosProxy` carrying one of
+    these and a node can be killed at an exact frame boundary — from the
+    router's side indistinguishable from a crashed process (in-flight
+    frames dropped, connections reset, redials refused) while the real
+    server behind the proxy keeps its state, so tests control precisely
+    *when* a node dies and what data it missed while dead.
+
+    ``after_global_frame`` arms the switch on the proxy's global frame
+    counter (byte-precise death mid-conversation); :meth:`blackout`
+    throws it immediately; :meth:`restore` brings the node back — the
+    restarted process at the same address, pending resync.
+    """
+
+    def __init__(self, after_global_frame: Optional[int] = None):
+        self.after = after_global_frame
+        self.active = after_global_frame is not None and \
+            after_global_frame <= 0
+
+    def accepting(self) -> bool:
+        return not self.active
+
+    def decide(self, direction, index, global_index, frame_type):
+        if not self.active and self.after is not None \
+                and global_index >= self.after:
+            self.active = True
+        return Fault(KIND_DROP) if self.active else None
+
+    def blackout(self) -> None:
+        self.active = True
+        self.after = None
+
+    def restore(self) -> None:
+        self.active = False
+        self.after = None
 
 
 class ChaosProxy:
@@ -200,6 +248,14 @@ class ChaosProxy:
 
     async def _handle(self, client_reader: asyncio.StreamReader,
                       client_writer: asyncio.StreamWriter) -> None:
+        if not self.schedule.accepting():
+            # The node behind this proxy is playing dead: refuse the
+            # dial the way a crashed process would.
+            try:
+                client_writer.close()
+            except (ConnectionError, OSError):
+                pass
+            return
         self.connections += 1
         try:
             upstream_reader, upstream_writer = await asyncio.open_connection(

@@ -53,6 +53,13 @@ class LoadReport:
     retries: int = 0
     refusals: int = 0
     reconnects: int = 0
+    #: Cluster-run fields (zero on single-node runs and omitted from
+    #: :meth:`as_record`, keeping the chaos record schema unchanged).
+    nodes: int = 0
+    replication_factor: int = 0
+    failovers: int = 0
+    resyncs: int = 0
+    node_kills: int = 0
 
     @property
     def sessions_per_second(self) -> float:
@@ -75,7 +82,7 @@ class LoadReport:
         return _percentile(self.query_latencies, 0.99)
 
     def as_record(self) -> Dict:
-        return {
+        record = {
             "sessions": self.sessions,
             "updates_per_session": self.updates_per_session,
             "elapsed_seconds": self.elapsed_seconds,
@@ -94,6 +101,15 @@ class LoadReport:
             "reconnects": self.reconnects,
             "errors": len(self.failures),
         }
+        if self.nodes:
+            record.update({
+                "nodes": self.nodes,
+                "replication_factor": self.replication_factor,
+                "failovers": self.failovers,
+                "resyncs": self.resyncs,
+                "node_kills": self.node_kills,
+            })
+        return record
 
 
 def session_workload(
@@ -261,3 +277,48 @@ def run_load(
         refusals=totals["refusals"],
         reconnects=totals["reconnects"],
     )
+
+
+def run_cluster_load(
+    host: str,
+    port: int,
+    field: PrimeField,
+    u: int,
+    nodes: int,
+    replication_factor: int,
+    kill_schedule: Optional[List] = None,
+    **load_kwargs,
+) -> LoadReport:
+    """:func:`run_load` against a cluster router, with scheduled kills.
+
+    The client-side workload is *identical* to the single-node one (the
+    router speaks the same protocol), which is the whole test: sessions
+    must see zero errors while nodes die underneath them.
+
+    ``kill_schedule`` is a list of ``(delay_seconds, action)`` pairs;
+    each ``action`` (e.g. a proxy blackout, a ``manager.kill``) fires on
+    its own timer ``delay_seconds`` after the workload starts.  The
+    caller stamps router/supervisor tallies (``failovers``/``resyncs``)
+    onto the returned report afterwards — the load generator itself
+    stays ignorant of cluster internals.
+    """
+    kill_schedule = list(kill_schedule or [])
+    timers = [
+        threading.Timer(delay, action) for delay, action in kill_schedule
+    ]
+    for timer in timers:
+        timer.start()
+    try:
+        report = run_load(host, port, field, u, **load_kwargs)
+    finally:
+        for timer in timers:
+            # A run that finishes early still executes every kill the
+            # scenario promised (the counts feed the benchmark record).
+            if timer.is_alive():
+                timer.cancel()
+                timer.function()
+            timer.join()
+    report.nodes = nodes
+    report.replication_factor = replication_factor
+    report.node_kills = len(kill_schedule)
+    return report

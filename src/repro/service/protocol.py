@@ -62,7 +62,14 @@ T_ERROR = 0x10          # server -> client: error code + UTF-8 message
 T_BYE = 0x11            # client -> server: end the session
 T_BYE_ACK = 0x12
 
-_KNOWN_TYPES = frozenset(range(T_HELLO, T_BYE_ACK + 1))
+# Health/cluster frames: exchanged by the cluster router's heartbeat
+# probes and the node supervisor's resync loop — sessionless (session id
+# 0), exempt from per-session rate limits, answered before any registry
+# lookup so a node reports its health even when it refuses new sessions.
+H_PING = 0x13           # router/supervisor -> node: are you alive?
+H_STATUS = 0x14         # node -> prober: counters + dataset inventory
+
+_KNOWN_TYPES = frozenset(range(T_HELLO, H_STATUS + 1))
 
 # -- error codes (T_ERROR payloads) -------------------------------------------
 #
@@ -255,6 +262,38 @@ def parse_updates(field: PrimeField, payload: bytes):
         for t in range(1, len(words), 2)
     ]
     return vector, pairs
+
+
+def status_payload(field: PrimeField, sessions: int, open_queries: int,
+                   queries_served: int, inventory) -> bytes:
+    """H_STATUS body: counters + per-dataset ``(id, u, n_updates)``.
+
+    ``inventory`` is the registry's dataset inventory; ids/universes ride
+    as field words, so a dataset id must fit below the modulus (ids are
+    64-bit on the HELLO path but every practical deployment numbers them
+    small — an oversized id fails loudly at encode time).
+    """
+    words = [sessions, open_queries, queries_served, len(inventory)]
+    for dataset_id, u, n_updates in inventory:
+        words.extend((dataset_id, u, n_updates))
+    return words_payload(field, words)
+
+
+def parse_status(field: PrimeField, payload: bytes):
+    """``(counters dict, {dataset id: (u, n_updates)})`` from H_STATUS."""
+    words = parse_words(field, payload)
+    if len(words) < 4 or len(words) != 4 + 3 * words[3]:
+        raise ServiceProtocolError("status payload has the wrong shape")
+    counters = {
+        "sessions": words[0],
+        "open_queries": words[1],
+        "queries_served": words[2],
+    }
+    inventory = {
+        words[t]: (words[t + 1], words[t + 2])
+        for t in range(4, len(words), 3)
+    }
+    return counters, inventory
 
 
 def error_payload(message: str, code: int = E_GENERIC) -> bytes:

@@ -243,6 +243,37 @@ class SessionRegistry:
         self.queries_served += 1
         return session.open_query(unit, prover)
 
+    # -- cluster support -----------------------------------------------------
+
+    def inventory(self) -> List[Tuple[int, int, int]]:
+        """``(dataset id, u, n_updates)`` per dataset, id-sorted.
+
+        This is what an H_STATUS frame carries: enough for a cluster
+        router's health probe and for a node supervisor to decide which
+        datasets a recovering node must resync, and from where.
+        """
+        return [
+            (d.dataset_id, d.u, d.n_updates)
+            for d in sorted(self.datasets.values(),
+                            key=lambda d: d.dataset_id)
+        ]
+
+    def tail_slice(self, dataset_id: int, start: int,
+                   count: int) -> List[Tuple[int, int, int]]:
+        """A slice of one dataset's update log, for tail resync.
+
+        The hinted-handoff read path: a peer replica serves the
+        ``(vector, key, delta)`` entries a recovering node missed while
+        it was down, starting at the recovering node's own update count.
+        Replica logs are prefixes of the writer's sequence (one writer
+        per dataset), so ``start = len(recovering node's log)`` is
+        exactly the first missed update.
+        """
+        dataset = self.datasets.get(dataset_id)
+        if dataset is None:
+            raise RegistryError("unknown dataset %d" % dataset_id)
+        return list(dataset.replay_slice(start, count))
+
     # -- snapshot / restore --------------------------------------------------
     #
     # Crash recovery: everything a restarted server needs to resume its
@@ -258,9 +289,12 @@ class SessionRegistry:
     def snapshot(self, path) -> str:
         """Persist all datasets (logs + counters) to ``path``.
 
-        The write goes through a temp file + ``os.replace`` so a crash
-        mid-snapshot leaves the previous snapshot intact, never a
-        half-written one.
+        The write goes through a per-process temp file, an fsync, and an
+        atomic ``os.replace``: a node killed at *any* instant — mid-JSON,
+        between write and rename, even mid-rename — leaves either the
+        previous complete snapshot or the new complete one at ``path``,
+        never a truncated hybrid.  Recovery can therefore always restore
+        from the latest snapshot a dead node left behind.
         """
         payload = {
             "version": self.SNAPSHOT_VERSION,
@@ -277,9 +311,15 @@ class SessionRegistry:
             ],
         }
         path = str(path)
-        tmp = path + ".tmp"
+        # The temp name carries the pid so two nodes snapshotting into a
+        # shared directory can never clobber each other's half-written
+        # file; the fsync pins the bytes before the rename publishes
+        # them (rename-before-data would let a crash publish garbage).
+        tmp = "%s.tmp.%d" % (path, os.getpid())
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(payload, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
         return path
 

@@ -264,9 +264,8 @@ class ProverServer:
                     writer.write(sp.pack_frame(sp.T_BYE_ACK, frame_session))
                     await writer.drain()
                     break
-                if frame_type != sp.T_HELLO and not self._allow_frame(
-                    frame_session
-                ):
+                if frame_type not in (sp.T_HELLO, sp.H_PING) and \
+                        not self._allow_frame(frame_session):
                     writer.write(sp.pack_frame(
                         sp.T_ERROR, frame_session,
                         sp.error_payload(
@@ -354,6 +353,27 @@ class ProverServer:
             )
             return [sp.pack_frame(sp.T_HELLO_ACK, session.session_id, ack)]
 
+        if frame_type == sp.H_PING:
+            # Health probe: sessionless, rate-limit-exempt, answered
+            # even when admission control refuses new sessions — a full
+            # node is busy, not dead, and the router must see the
+            # difference.  The reply carries the dataset inventory the
+            # supervisor's resync loop plans from.
+            stats = self.registry.stats()
+            return [
+                sp.pack_frame(
+                    sp.H_STATUS,
+                    session_id,
+                    sp.status_payload(
+                        field,
+                        stats["sessions"],
+                        stats["open_queries"],
+                        stats["queries_served"],
+                        self.registry.inventory(),
+                    ),
+                )
+            ]
+
         session = self.registry.session(session_id)
         dataset = session.dataset
 
@@ -376,7 +396,9 @@ class ProverServer:
             frames = []
             cursor = start
             while cursor < dataset.n_updates:
-                block = dataset.replay_slice(cursor, REPLAY_BLOCK)
+                block = self.registry.tail_slice(
+                    dataset.dataset_id, cursor, REPLAY_BLOCK
+                )
                 by_vector = {}
                 for vector, key, delta in block:
                     by_vector.setdefault(vector, []).append((key, delta))

@@ -90,8 +90,10 @@ def vectorized_bench_recorder():
                 merged.values(), key=lambda r: (r["measure"], r["u"])
             ),
         }
+        # sort_keys + the key-sorted merge above give a stable byte
+        # layout: a rerun only diffs the records it actually re-measured.
         BENCH_VECTORIZED_JSON.write_text(
-            json.dumps(payload, indent=2) + "\n"
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
 
 

@@ -16,9 +16,12 @@ powerful server and verifying its answers):
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
   asyncio prover server and the thin blocking verifier client whose
   prover proxies exchange real frames per protocol round;
-* :mod:`repro.service.pool` — the sharded prover's map step on a thread
-  pool (NumPy releases the GIL): wall-clock Map-Reduce scaling with
-  byte-identical transcripts;
+* :mod:`repro.service.pool` — the sharded prover's map step on a
+  thread pool (NumPy releases the GIL) or a *process* pool over the
+  :mod:`repro.service.shm` shared-memory shard tables (zero-copy, so
+  the scalar backend scales with cores too), selected per deployment
+  via ``REPRO_POOL_MODE=auto|thread|process|inline``; wall-clock
+  Map-Reduce scaling with byte-identical transcripts in every mode;
 * :mod:`repro.service.loadgen` — many concurrent sessions, measured;
 * :mod:`repro.service.ring` / :mod:`repro.service.cluster` /
   :mod:`repro.service.supervisor` — the self-healing replicated
@@ -46,7 +49,14 @@ from repro.service.faults import (
     FaultSchedule,
 )
 from repro.service.loadgen import LoadReport, run_cluster_load, run_load
-from repro.service.pool import PoolConfigError, PooledDistributedF2Prover
+from repro.service.pool import (
+    POOL_MODE_ENV_VAR,
+    PoolConfigError,
+    PooledDistributedF2Prover,
+    ProcessPooledDistributedF2Prover,
+    make_pooled_prover,
+    resolve_pool_mode,
+)
 from repro.service.protocol import ServiceProtocolError
 from repro.service.registry import AdmissionError, SessionRegistry
 from repro.service.ring import HashRing
@@ -85,7 +95,9 @@ __all__ = [
     "LoadReport",
     "NO_RETRY",
     "NodeSupervisor",
+    "POOL_MODE_ENV_VAR",
     "ProcessNodeManager",
+    "ProcessPooledDistributedF2Prover",
     "PoolConfigError",
     "PooledDistributedF2Prover",
     "ProverServer",
@@ -110,10 +122,12 @@ __all__ = [
     "heavy_hitters",
     "inner_product",
     "k_largest",
+    "make_pooled_prover",
     "point_lookup",
     "predecessor",
     "range_scan",
     "range_sum",
+    "resolve_pool_mode",
     "run_cluster_load",
     "run_load",
     "successor",

@@ -22,6 +22,7 @@ import os
 import sys
 
 from repro.field.modular import DEFAULT_FIELD, PrimeField
+from repro.service.pool import POOL_MODE_ENV_VAR, POOL_MODES
 from repro.service.registry import SessionRegistry
 from repro.service.server import ProverServer
 
@@ -56,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-session token bucket (frames/sec, burst)")
     parser.add_argument("--idle-timeout", type=float, default=None,
                         help="seconds a connection may sit silent")
+    parser.add_argument("--pool-mode", choices=POOL_MODES, default=None,
+                        help="worker-pool F2 execution mode (default: "
+                             "the %s environment variable, then auto)"
+                             % POOL_MODE_ENV_VAR)
     return parser
 
 
@@ -100,6 +105,10 @@ def main(argv=None) -> int:
     if args.snapshot_interval and not args.snapshot:
         print("--snapshot-interval requires --snapshot", file=sys.stderr)
         return 2
+    if args.pool_mode:
+        # The router reads the knob per prover construction, so setting
+        # the env var here covers every query this node will serve.
+        os.environ[POOL_MODE_ENV_VAR] = args.pool_mode
     server = make_server(args)
     try:
         asyncio.run(_run(server, args.snapshot, args.snapshot_interval))

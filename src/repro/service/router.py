@@ -373,13 +373,16 @@ class QueryRouter:
         if kind == KIND_F2:
             workers = descriptor.params[0] if descriptor.params else 0
             if workers:
-                from repro.service.pool import PooledDistributedF2Prover
+                from repro.service.pool import make_pooled_prover
 
-                prover = PooledDistributedF2Prover(field, u,
-                                                   num_workers=workers)
-                for i, f in enumerate(freq_a):
-                    if f:
-                        prover.process(i, f)
+                # Execution mode (thread pool / process pool with
+                # shared-memory shards / inline) comes from
+                # REPRO_POOL_MODE; the registry shuts the prover down
+                # when its query closes.
+                prover = make_pooled_prover(field, u, num_workers=workers)
+                prover.process_stream(
+                    (i, f) for i, f in enumerate(freq_a) if f
+                )
                 return prover
             prover = F2Prover(field, u)
             prover.freq = list(freq_a)

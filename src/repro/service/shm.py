@@ -1,0 +1,398 @@
+"""Shared-memory shard tables: the zero-copy prover data plane.
+
+The thread-pooled prover scales only where NumPy releases the GIL; on
+the scalar backend (or any Python-level fold) every thread serialises on
+the interpreter lock and the "pool" measures 1.0x.  Real parallelism
+needs processes — but shipping a shard table through a pickle per round
+would cost more than the round computes.  This module removes the
+copies: every shard's proof state lives in one named
+:mod:`multiprocessing.shared_memory` segment, published once, and worker
+*processes* attach by name and map the regions in place — NumPy views
+under the vectorized backend, ``memoryview("q")`` words under the scalar
+one.  Per round, only a task tuple (segment name, shard index, level,
+challenge) goes out and a 3-word partial comes back.
+
+Layout.  For ``num_workers`` shards of ``shard_size`` (= S, a power of
+two) words each, the segment holds one block per shard::
+
+    [ freq: S ][ level 0: S ][ level 1: S/2 ] ... [ level log2(S): 1 ]
+
+``freq`` is the raw (signed, int64) ingest state, written only by the
+coordinator.  ``level 0`` is the canonical (mod p) proof table written
+at ``begin_proof``; ``level t`` is the table after ``t`` sum-check
+folds.  Keeping *every* level (a 2S-1 word arena per shard — the
+geometric series) is what makes worker death recoverable without
+re-shipping state: the fold for round ``t`` reads level ``t-1`` and
+writes level ``t``, so a task killed mid-write never damages its input
+and a re-run simply rewrites the same deterministic bytes.  Tasks are
+therefore pure functions of the segment plus their argument tuple and
+run identically in a process pool, a thread pool, or inline — the
+fallback ladder the pooled prover rides when pools die.
+
+Lifecycle.  The creating process owns the segment name and is the only
+unlinker; workers attach untracked (the stdlib resource tracker would
+otherwise unlink a segment the first exiting worker "leaked").  Clean
+shutdown unlinks explicitly; an ``atexit`` hook sweeps owners that were
+never closed; and if the owner is SIGKILLed, its resource-tracker
+process survives just long enough to unlink everything still registered
+— so no ``/dev/shm`` entry outlives the prover on any path (asserted in
+``tests/test_process_pool.py``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import time
+from array import array as _word_array
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+from repro.field.modular import DEFAULT_FIELD, PrimeField
+from repro.field.vectorized import (
+    HAVE_NUMPY,
+    canonical_table,
+    f2_round_sums,
+    fold_pairs,
+    get_backend,
+)
+
+if HAVE_NUMPY:
+    import numpy as _np
+
+#: Bytes per table word (int64/uint64).
+WORD = 8
+
+#: Segment name prefix — leak assertions scan ``/dev/shm`` for it.
+SEGMENT_PREFIX = "reproshm"
+
+
+class SharedMemoryError(RuntimeError):
+    """A shared-memory segment could not be created or attached."""
+
+
+def _level_offset(shard_size: int, level: int) -> int:
+    """Word offset of fold level ``level`` inside the levels arena."""
+    # Levels are packed densely: sizes S, S/2, ..., 1 sum to 2S - 1 and
+    # level t starts at S + S/2 + ... = 2S - 2*(S >> t).
+    return 2 * shard_size - 2 * (shard_size >> level)
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment, touching the tracker minimally.
+
+    On Python 3.13+ ``track=False`` skips resource-tracker registration
+    outright.  On <= 3.12 attaching registers the name a second time —
+    harmless, because every attacher here is a pool child *sharing* the
+    coordinator's tracker process and its cache is a set.  What must
+    NOT happen is an unregister: that would erase the creator's
+    registration too, and with it the tracker's unlink-on-SIGKILL
+    backstop for the whole segment.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python <= 3.12
+        return shared_memory.SharedMemory(name=name)
+
+
+class SharedShardStore:
+    """All shard state of one distributed prover, in one shm segment.
+
+    The coordinator constructs the store (``create=True``), owns the
+    segment and is the only party that ever unlinks it.  Worker
+    processes reach the same store through :func:`shared_store`, which
+    attaches by name exactly once per process.
+    """
+
+    def __init__(self, num_workers: int, shard_size: int,
+                 name: Optional[str] = None, create: bool = True):
+        if num_workers < 1 or num_workers & (num_workers - 1):
+            raise ValueError("num_workers must be a power of two")
+        if shard_size < 2 or shard_size & (shard_size - 1):
+            raise ValueError("shard_size must be a power of two >= 2")
+        self.num_workers = num_workers
+        self.shard_size = shard_size
+        self.shard_bits = shard_size.bit_length() - 1
+        #: Words per shard block: freq (S) + fold levels (2S - 1).
+        self.block_words = 3 * shard_size - 1
+        self.total_words = num_workers * self.block_words
+        self.owner = create
+        if create:
+            if name is None:
+                name = "%s_%d_%s" % (
+                    SEGMENT_PREFIX, os.getpid(), secrets.token_hex(4)
+                )
+            try:
+                self._segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=self.total_words * WORD
+                )
+            except OSError as exc:
+                raise SharedMemoryError(
+                    "cannot create a %d-byte shared-memory segment "
+                    "(small /dev/shm?): %s" % (self.total_words * WORD, exc)
+                ) from exc
+            _OWNED.add(self)
+            _STORES[name] = self
+        else:
+            if name is None:
+                raise ValueError("attaching requires a segment name")
+            try:
+                self._segment = _attach_segment(name)
+            except (OSError, FileNotFoundError) as exc:
+                raise SharedMemoryError(
+                    "cannot attach shared-memory segment %r: %s"
+                    % (name, exc)
+                ) from exc
+        self.name = name
+        self._closed = False
+        # One flat word view of the whole arena; the mapping may be
+        # page-rounded past the requested size, so slice before casting.
+        raw = memoryview(self._segment.buf)[: self.total_words * WORD]
+        if HAVE_NUMPY:
+            self._signed = _np.ndarray(
+                (self.total_words,), dtype=_np.int64, buffer=raw
+            )
+            self._unsigned = _np.ndarray(
+                (self.total_words,), dtype=_np.uint64, buffer=raw
+            )
+            self._words = None
+        else:
+            self._words = raw.cast("q")
+            self._signed = self._unsigned = None
+        self._raw = raw
+
+    # -- region views --------------------------------------------------------
+
+    def _freq_bounds(self, shard: int) -> Tuple[int, int]:
+        start = shard * self.block_words
+        return start, start + self.shard_size
+
+    def _level_bounds(self, shard: int, level: int) -> Tuple[int, int]:
+        if not 0 <= level <= self.shard_bits:
+            raise ValueError("level %d outside [0, %d]"
+                             % (level, self.shard_bits))
+        start = (shard * self.block_words + self.shard_size
+                 + _level_offset(self.shard_size, level))
+        return start, start + (self.shard_size >> level)
+
+    def freq_array(self, shard: int):
+        """The shard's raw int64 frequency region (signed deltas)."""
+        lo, hi = self._freq_bounds(shard)
+        if HAVE_NUMPY:
+            return self._signed[lo:hi]
+        return self._words[lo:hi]
+
+    def level_array(self, shard: int, level: int):
+        """Fold level ``level`` as canonical words (uint64 under NumPy)."""
+        lo, hi = self._level_bounds(shard, level)
+        if HAVE_NUMPY:
+            return self._unsigned[lo:hi]
+        return self._words[lo:hi]
+
+    def read_level(self, shard: int, level: int) -> List[int]:
+        """The level as a list of Python ints (the scalar-backend path)."""
+        arr = self.level_array(shard, level)
+        if HAVE_NUMPY:
+            return [int(v) for v in arr.tolist()]
+        return list(arr)
+
+    def write_level(self, shard: int, level: int, values: List[int]) -> None:
+        arr = self.level_array(shard, level)
+        if len(values) != len(arr):
+            raise ValueError("level %d takes %d words, got %d"
+                             % (level, len(arr), len(values)))
+        if HAVE_NUMPY:
+            arr[:] = _np.asarray(values, dtype=_np.uint64)
+        else:
+            arr[:] = _word_array("q", values)
+
+    def read_freq(self, shard: int) -> List[int]:
+        arr = self.freq_array(shard)
+        if HAVE_NUMPY:
+            return [int(v) for v in arr.tolist()]
+        return list(arr)
+
+    def residual(self, shard: int) -> int:
+        """The fully folded shard: the single word of the last level."""
+        return int(self.level_array(shard, self.shard_bits)[0])
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach; the owner also unlinks the name.  Idempotent.
+
+        Unlinking with worker mappings still open is safe on POSIX: the
+        name disappears immediately, the memory when the last mapping
+        closes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        _OWNED.discard(self)
+        if _STORES.get(self.name) is self:
+            del _STORES[self.name]
+        # Release every exported view before the mapping can close
+        # (memoryview exports pin the underlying mmap); if a caller
+        # still holds a region view the release fails quietly and the
+        # mapping lives until that view is collected — the *name* is
+        # unlinked below regardless, so nothing new can attach.
+        if HAVE_NUMPY:
+            self._signed = self._unsigned = None
+        else:
+            try:
+                self._words.release()
+            except BufferError:
+                pass
+        try:
+            self._raw.release()
+        except BufferError:
+            pass
+        try:
+            self._segment.close()
+        except Exception:
+            pass
+        if self.owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+
+    def __enter__(self) -> "SharedShardStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Owner stores not yet closed — swept at interpreter exit so a prover
+#: that was never shut down still unlinks its segment.
+_OWNED: set = set()
+
+#: Per-process attach cache: one mapping per segment, shared by every
+#: task that runs here (worker process, thread-fallback, or inline).
+_STORES: Dict[str, SharedShardStore] = {}
+
+
+def _cleanup_owned() -> None:
+    # Owners first (unlink), then any attach-side stores this process
+    # still maps (worker processes): releasing their views before the
+    # interpreter tears down keeps SharedMemory.__del__ from hitting
+    # "cannot close exported pointers exist" at exit.
+    for store in list(_OWNED):
+        store.close()
+    for store in list(_STORES.values()):
+        store.close()
+
+
+atexit.register(_cleanup_owned)
+
+
+def shared_store(name: str, num_workers: int,
+                 shard_size: int) -> SharedShardStore:
+    """The process-local store for ``name``, attaching on first use."""
+    store = _STORES.get(name)
+    if store is None:
+        store = SharedShardStore(num_workers, shard_size, name=name,
+                                 create=False)
+        _STORES[name] = store
+    return store
+
+
+# -- task-side field/backend resolution ---------------------------------------
+
+_TASK_BACKENDS: Dict[Tuple[int, str], Tuple[PrimeField, object]] = {}
+
+
+def _field_backend(p: int, backend_name: str):
+    key = (p, backend_name)
+    cached = _TASK_BACKENDS.get(key)
+    if cached is None:
+        field = DEFAULT_FIELD if p == DEFAULT_FIELD.p else PrimeField(p)
+        cached = (field, get_backend(field, backend_name))
+        _TASK_BACKENDS[key] = cached
+    return cached
+
+
+# -- shard tasks ---------------------------------------------------------------
+#
+# Module-level functions of one picklable tuple: the process-pool map
+# step submits these by qualified name, and the same functions serve the
+# thread-fallback and inline execution modes unchanged.  Each task
+# writes only regions no other task of the same round touches, and
+# derives its return value from locals (never by re-reading shared
+# memory), so a re-run after a worker kill — even one racing a zombie
+# writer finishing the same deterministic write — returns the same
+# bytes.
+
+
+def shm_begin_shard(args) -> None:
+    """Canonicalise one shard's freq region into fold level 0."""
+    name, num_workers, shard_size, p, backend_name, shard = args
+    store = shared_store(name, num_workers, shard_size)
+    field, backend = _field_backend(p, backend_name)
+    if getattr(backend, "vectorized", False):
+        freq = store.freq_array(shard)
+        store.level_array(shard, 0)[:] = _np.mod(
+            freq, _np.int64(p)
+        ).astype(_np.uint64)
+    else:
+        store.write_level(
+            shard, 0, canonical_table(backend, field, store.read_freq(shard))
+        )
+    return None
+
+
+def shm_round_sums_shard(args) -> Tuple[int, int, int]:
+    """One shard's [g(0), g(1), g(2)] partial over fold level ``t``."""
+    name, num_workers, shard_size, p, backend_name, shard, level = args
+    store = shared_store(name, num_workers, shard_size)
+    field, backend = _field_backend(p, backend_name)
+    if getattr(backend, "vectorized", False):
+        table = store.level_array(shard, level)
+    else:
+        table = store.read_level(shard, level)
+    g = f2_round_sums(backend, field, table)
+    return (int(g[0]), int(g[1]), int(g[2]))
+
+
+def shm_fold_shard(args) -> Optional[Tuple[int, int, int]]:
+    """Fold level ``t`` with challenge ``r`` into level ``t+1``.
+
+    Returns the *next* round's partial while the folded table is still
+    cache-resident (the same trick the in-process shard workers use), or
+    ``None`` once the shard is a single word.
+    """
+    name, num_workers, shard_size, p, backend_name, shard, level, r = args
+    store = shared_store(name, num_workers, shard_size)
+    field, backend = _field_backend(p, backend_name)
+    if getattr(backend, "vectorized", False):
+        current = store.level_array(shard, level)
+        folded = fold_pairs(backend, field, current, r)
+        store.level_array(shard, level + 1)[:] = folded
+        width = folded.shape[0]
+    else:
+        current = store.read_level(shard, level)
+        folded = fold_pairs(backend, field, current, r)
+        store.write_level(shard, level + 1, folded)
+        width = len(folded)
+    if width < 2:
+        return None
+    g = f2_round_sums(backend, field, folded)
+    return (int(g[0]), int(g[1]), int(g[2]))
+
+
+def shm_touch(args) -> int:
+    """Warm-up task: attach the segment, hold the slot, report the pid.
+
+    The short sleep keeps each pool slot busy long enough that every
+    worker process actually spawns (and pays its import cost) before
+    the timed proof begins.
+    """
+    name, num_workers, shard_size, delay = args
+    shared_store(name, num_workers, shard_size)
+    if delay:
+        time.sleep(delay)
+    return os.getpid()

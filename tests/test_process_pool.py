@@ -1,0 +1,419 @@
+"""The zero-copy process-pool prover data plane.
+
+What must hold, on every path:
+
+* transcripts byte-identical to the sequential sharded coordinator —
+  in process mode, through the thread fallback, and inline-degraded;
+* a SIGKILLed worker process costs a pool rebuild and a re-run of only
+  never-completed tasks, never a transcript byte;
+* no ``/dev/shm`` segment outlives its prover: clean shutdown, worker
+  death, coordinator SIGKILL (the resource-tracker backstop), and the
+  service closing a query must all end with zero ``reproshm_*`` entries
+  (an autouse fixture sweeps before/after every test here).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
+
+import pytest
+
+from repro.comm.channel import Channel
+from repro.core.base import pow2_dimension
+from repro.core.f2 import F2Verifier, run_f2
+from repro.distributed.sharded import DistributedF2Prover
+from repro.field.modular import DEFAULT_FIELD as F
+from repro.field.vectorized import get_backend
+from repro.service.pool import (
+    POOL_MODE_ENV_VAR,
+    PoolConfigError,
+    PooledDistributedF2Prover,
+    ProcessPooledDistributedF2Prover,
+    make_pooled_prover,
+    resolve_pool_mode,
+)
+from repro.service.shm import (
+    SEGMENT_PREFIX,
+    SharedMemoryError,
+    SharedShardStore,
+)
+from repro.streams.generators import uniform_frequency_stream
+
+HAVE_DEV_SHM = sys.platform == "linux" and os.path.isdir("/dev/shm")
+
+
+def _segments() -> set:
+    return set(glob.glob("/dev/shm/%s*" % SEGMENT_PREFIX))
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test in this file must leave /dev/shm as it found it."""
+    before = _segments() if HAVE_DEV_SHM else set()
+    yield
+    if HAVE_DEV_SHM:
+        leaked = _segments() - before
+        assert not leaked, "leaked shared-memory segments: %s" % sorted(
+            leaked
+        )
+
+
+def _updates(u, seed, max_frequency=9):
+    stream = uniform_frequency_stream(u, max_frequency=max_frequency,
+                                      rng=random.Random(seed))
+    return list(stream.updates())
+
+
+def _reference(u, updates, point, backend=None, workers=8):
+    prover = DistributedF2Prover(F, u, num_workers=workers, backend=backend)
+    prover.process_stream(updates)
+    verifier = F2Verifier(F, u, point=point)
+    verifier.process_stream(updates)
+    channel = Channel()
+    result = run_f2(prover, verifier, channel)
+    assert result.accepted
+    return result, channel.transcript.messages
+
+
+def _drive(prover, u, updates, point):
+    verifier = F2Verifier(F, u, point=point)
+    verifier.process_stream(updates)
+    channel = Channel()
+    result = run_f2(prover, verifier, channel)
+    return result, channel.transcript.messages
+
+
+# -- transcript equivalence ----------------------------------------------------
+
+
+@pytest.mark.parametrize("backend_name", ["vectorized", "scalar"])
+def test_process_prover_transcripts_byte_identical(backend_name):
+    backend = get_backend(F, backend_name)
+    if backend_name == "vectorized" and not getattr(
+        backend, "vectorized", False
+    ):
+        pytest.skip("numpy not installed")
+    u = 1 << 9
+    updates = _updates(u, seed=31)
+    point = F.rand_vector(random.Random(32), pow2_dimension(u))
+    want, want_messages = _reference(u, updates, point, backend=backend)
+
+    with ProcessPooledDistributedF2Prover(
+        F, u, num_workers=8, backend=backend
+    ) as prover:
+        prover.process_stream(updates)
+        assert prover.max_worker_keys == (1 << 9) // 8
+        got, got_messages = _drive(prover, u, updates, point)
+        assert prover.effective_mode == "process"
+
+    assert got.accepted and got.value == want.value
+    assert got_messages == want_messages
+
+
+def test_single_update_ingest_and_true_answer():
+    with ProcessPooledDistributedF2Prover(F, 1 << 6, num_workers=4) as p:
+        for i, delta in [(0, 3), (63, -2), (17, 5), (17, 1)]:
+            p.process(i, delta)
+        assert p.true_answer() == 3 * 3 + 2 * 2 + 6 * 6
+        with pytest.raises(ValueError):
+            p.process(1 << 6, 1)
+        with pytest.raises(ValueError):
+            p.process_stream([(-1, 1)])
+
+
+def test_repeated_proofs_reuse_one_segment():
+    """begin_proof resets cleanly: two proofs over evolving data, one
+    shm segment, transcripts matching fresh sequential references."""
+    u = 1 << 8
+    first = _updates(u, seed=41)
+    second = [(k, 2) for k, _ in _updates(u, seed=42)[:40]]
+    point = F.rand_vector(random.Random(43), pow2_dimension(u))
+    with ProcessPooledDistributedF2Prover(F, u, num_workers=4) as prover:
+        prover.process_stream(first)
+        _, messages_1 = _drive(prover, u, first, point)
+        prover.process_stream(second)
+        _, messages_2 = _drive(prover, u, first + second, point)
+    _, want_1 = _reference(u, first, point, workers=4)
+    _, want_2 = _reference(u, first + second, point, workers=4)
+    assert messages_1 == want_1
+    assert messages_2 == want_2
+
+
+# -- the shared-memory store ---------------------------------------------------
+
+
+def test_shard_store_roundtrip_and_layout():
+    with SharedShardStore(4, 8) as store:
+        for shard in range(4):
+            freq = store.freq_array(shard)
+            freq[0] = -5 + shard
+            freq[7] = 1000 + shard
+            store.write_level(shard, 0, [shard * 10 + c for c in range(8)])
+            store.write_level(shard, 3, [7 - shard])
+        for shard in range(4):
+            assert store.read_freq(shard)[0] == -5 + shard
+            assert store.read_freq(shard)[7] == 1000 + shard
+            assert store.read_level(shard, 0) == [
+                shard * 10 + c for c in range(8)
+            ]
+            assert store.residual(shard) == 7 - shard
+        with pytest.raises(ValueError):
+            store.level_array(0, 4)  # only log2(8)=3 fold levels exist
+        with pytest.raises(ValueError):
+            store.write_level(0, 1, [1, 2, 3])  # level 1 holds 4 words
+
+
+def test_shard_store_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        SharedShardStore(3, 8)
+    with pytest.raises(ValueError):
+        SharedShardStore(4, 6)
+    with pytest.raises(ValueError):
+        SharedShardStore(4, 1)
+
+
+def test_shard_store_close_is_idempotent_and_unlinks():
+    store = SharedShardStore(2, 4)
+    name = store.name
+    store.close()
+    store.close()
+    with pytest.raises(SharedMemoryError):
+        SharedShardStore(2, 4, name=name, create=False)
+
+
+def test_prover_shutdown_is_idempotent():
+    prover = ProcessPooledDistributedF2Prover(F, 1 << 6, num_workers=4)
+    name = prover.store.name
+    prover.shutdown()
+    prover.shutdown()
+    if HAVE_DEV_SHM:
+        assert not os.path.exists("/dev/shm/" + name)
+
+
+# -- fault paths ---------------------------------------------------------------
+
+
+def test_worker_sigkill_mid_proof_recovers_byte_identical():
+    u = 1 << 9
+    updates = _updates(u, seed=51)
+    point = F.rand_vector(random.Random(52), pow2_dimension(u))
+    want, want_messages = _reference(u, updates, point)
+
+    with ProcessPooledDistributedF2Prover(F, u, num_workers=8) as prover:
+        prover.warm_up(delay=0.01)
+        prover.process_stream(updates)
+        verifier = F2Verifier(F, u, point=point)
+        verifier.process_stream(updates)
+        channel = Channel()
+
+        # Shim the per-round entry point so round 2 SIGKILLs a live
+        # pool worker mid-proof: the next map step sees
+        # BrokenProcessPool and rides the recovery machinery.
+        state = {"round": 0}
+        real_round_message = prover.round_message
+
+        def killing_round_message():
+            if state["round"] == 2 and prover._executor is not None:
+                victims = [
+                    p.pid for p in prover._executor._processes.values()
+                ]
+                assert victims, "pool has no live workers to kill"
+                os.kill(victims[0], signal.SIGKILL)
+            state["round"] += 1
+            return real_round_message()
+
+        prover.round_message = killing_round_message
+        got = run_f2(prover, verifier, channel)
+
+        assert state["round"] == prover.d
+        assert prover.pool_failures >= 1
+        assert prover.effective_mode == "process"  # rebuilt, not degraded
+
+    assert got.accepted and got.value == want.value
+    assert channel.transcript.messages == want_messages
+
+
+def test_fallback_ladder_process_to_thread_to_inline():
+    """With an executor factory that always breaks, the prover walks
+    process -> thread -> inline and still proves byte-identically."""
+    u = 1 << 8
+    updates = _updates(u, seed=61)
+    point = F.rand_vector(random.Random(62), pow2_dimension(u))
+    want, want_messages = _reference(u, updates, point)
+
+    state = {"made": 0}
+
+    class _AlwaysBroken:
+        def submit(self, fn, *args):
+            raise BrokenExecutor("injected pool death")
+
+        def shutdown(self, wait=True):
+            pass
+
+    def factory():
+        state["made"] += 1
+        return _AlwaysBroken()
+
+    with ProcessPooledDistributedF2Prover(
+        F, u, num_workers=8, executor_factory=factory
+    ) as prover:
+        prover.process_stream(updates)
+        got, got_messages = _drive(prover, u, updates, point)
+        assert prover.effective_mode == "inline"
+        # process mode burns MAX_POOL_RESTARTS rebuilds, thread mode the
+        # same again, plus the two mode-switch failures themselves.
+        assert prover.pool_failures >= 2 * prover.MAX_POOL_RESTARTS + 2
+        made_when_degraded = state["made"]
+        prover.begin_proof()  # further work stays inline: no new pools
+        assert state["made"] == made_when_degraded
+
+    assert got.accepted and got.value == want.value
+    assert got_messages == want_messages
+
+
+def test_thread_fallback_produces_identical_transcript():
+    """One rung of the ladder in isolation: force _pool_kind to thread
+    (as repeated process-pool death would) and prove over the same shm
+    tables with threads."""
+    u = 1 << 8
+    updates = _updates(u, seed=71)
+    point = F.rand_vector(random.Random(72), pow2_dimension(u))
+    want, want_messages = _reference(u, updates, point)
+
+    with ProcessPooledDistributedF2Prover(F, u, num_workers=8) as prover:
+        prover._pool_kind = "thread"
+        prover.process_stream(updates)
+        got, got_messages = _drive(prover, u, updates, point)
+        assert prover.effective_mode == "thread"
+        assert isinstance(prover._executor, ThreadPoolExecutor)
+
+    assert got.accepted and got.value == want.value
+    assert got_messages == want_messages
+
+
+@pytest.mark.skipif(not HAVE_DEV_SHM, reason="needs /dev/shm")
+def test_coordinator_sigkill_leaves_no_segment(tmp_path):
+    """SIGKILL the *owning* process: the stdlib resource tracker is the
+    backstop that unlinks the segment when the owner never could."""
+    script = tmp_path / "owner.py"
+    script.write_text(
+        "import time\n"
+        "from repro.service.shm import SharedShardStore\n"
+        "store = SharedShardStore(4, 64)\n"
+        "print(store.name, flush=True)\n"
+        "time.sleep(60)\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(os.path.dirname(__file__), os.pardir,
+                                   "src"),
+                      env.get("PYTHONPATH", "")])
+    )
+    proc = subprocess.Popen(
+        [sys.executable, str(script)], stdout=subprocess.PIPE, text=True,
+        env=env,
+    )
+    try:
+        name = proc.stdout.readline().strip()
+        assert name.startswith(SEGMENT_PREFIX)
+        assert os.path.exists("/dev/shm/" + name)
+        proc.kill()
+        proc.wait()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    deadline = time.monotonic() + 10.0
+    while os.path.exists("/dev/shm/" + name):
+        assert time.monotonic() < deadline, (
+            "resource tracker never unlinked %s" % name
+        )
+        time.sleep(0.05)
+
+
+# -- mode selection ------------------------------------------------------------
+
+
+def test_resolve_pool_mode_env_and_validation(monkeypatch):
+    monkeypatch.delenv(POOL_MODE_ENV_VAR, raising=False)
+    assert resolve_pool_mode("thread") == "thread"
+    assert resolve_pool_mode("process") == "process"
+    assert resolve_pool_mode("inline") == "inline"
+    monkeypatch.setenv(POOL_MODE_ENV_VAR, "process")
+    assert resolve_pool_mode() == "process"
+    monkeypatch.setenv(POOL_MODE_ENV_VAR, "  THREAD ")
+    assert resolve_pool_mode() == "thread"
+    monkeypatch.setenv(POOL_MODE_ENV_VAR, "fork-bomb")
+    with pytest.raises(PoolConfigError):
+        resolve_pool_mode()
+    monkeypatch.delenv(POOL_MODE_ENV_VAR, raising=False)
+    # auto: vectorized backends want threads (GIL-releasing kernels);
+    # a scalar backend wants processes once there is more than one core.
+    assert resolve_pool_mode(
+        "auto", backend=get_backend(F, "vectorized")
+    ) in ("thread", "process")
+    scalar_auto = resolve_pool_mode("auto", backend=get_backend(F, "scalar"))
+    assert scalar_auto == (
+        "process" if (os.cpu_count() or 1) >= 2 else "thread"
+    )
+
+
+def test_make_pooled_prover_dispatches_by_mode():
+    inline = make_pooled_prover(F, 1 << 6, mode="inline")
+    assert type(inline) is DistributedF2Prover
+    inline.shutdown()  # inline shares the pooled lifecycle surface
+    with make_pooled_prover(F, 1 << 6, mode="thread") as thread_prover:
+        assert type(thread_prover) is PooledDistributedF2Prover
+    with make_pooled_prover(F, 1 << 6, mode="process") as process_prover:
+        assert type(process_prover) is ProcessPooledDistributedF2Prover
+    with pytest.raises(PoolConfigError):
+        make_pooled_prover(F, 1 << 6, mode="forkbomb")
+
+
+def test_process_pool_config_validation():
+    with pytest.raises(PoolConfigError):
+        ProcessPooledDistributedF2Prover(F, 1 << 6, num_workers=4,
+                                         max_procs=0)
+    with pytest.raises(PoolConfigError):
+        ProcessPooledDistributedF2Prover(F, 1 << 6, num_workers=4,
+                                         max_procs=5)
+
+
+# -- the service, end to end ---------------------------------------------------
+
+
+def test_service_f2_query_in_process_mode(monkeypatch):
+    """A worker-pool F2 query over the real wire with
+    REPRO_POOL_MODE=process: the router builds a process prover, the
+    verifier accepts, and closing the query releases the segment while
+    the server keeps running."""
+    from repro.service import ProverServer, ServiceClient, f2
+
+    monkeypatch.setenv(POOL_MODE_ENV_VAR, "process")
+    u = 1 << 8
+    updates = _updates(u, seed=81)
+    before = _segments() if HAVE_DEV_SHM else set()
+    server = ProverServer(F)
+    handle = server.serve_in_thread()
+    try:
+        host, port = handle.address
+        with ServiceClient(host, port, F, u, dataset_id=77) as client:
+            client.provision(("f2",), 2)
+            client.send_updates(updates)
+            plain = client.query(f2())[0]
+            pooled = client.query(f2(workers=4))[0]
+        assert plain.result.accepted and pooled.result.accepted
+        assert plain.result.value == pooled.result.value
+        if HAVE_DEV_SHM:
+            # The query (and session) is closed: its segment is gone
+            # even though the server is still up.
+            assert _segments() - before == set()
+    finally:
+        handle.stop()

@@ -18,9 +18,11 @@ it is unsafe.  The paper offers two remedies, both implemented here:
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.comm.channel import Channel
 from repro.core.base import (
     VerificationResult,
@@ -520,7 +522,9 @@ def run_batched_sumcheck(
     previous: List[Optional[int]] = [None] * len(queries)
     failed: List[Optional[str]] = [None] * len(queries)
 
+    round_seconds = obs.histogram("repro_sumcheck_round_seconds")
     for j in range(d):
+        round_t0 = time.perf_counter()
         # The prover commits every query's round polynomial first.
         messages = prover.round_messages()
         deliveries: List[Optional[List[int]]] = [None] * len(queries)
@@ -559,6 +563,14 @@ def run_batched_sumcheck(
         if j < d - 1:
             ch.verifier_says(j, "r%d" % (j + 1), [verifier.r[j]])
         prover.receive_challenge(verifier.r[j])
+        round_seconds.observe(time.perf_counter() - round_t0)
+
+    # Per-query proof telemetry, straight off the channel's own
+    # accounting — the cross-check test asserts these samples equal
+    # Channel.query_cost exactly.
+    for idx, q in enumerate(queries):
+        obs.histogram("repro_sumcheck_query_words",
+                      kind=q.name).observe(ch.query_cost(idx))
 
     results = []
     fa_at_r = lde_a.value

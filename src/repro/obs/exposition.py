@@ -1,0 +1,73 @@
+"""Prometheus-style text exposition over a minimal HTTP endpoint.
+
+``python -m repro.service --stats PORT`` serves the process metrics
+registry as ``text/plain`` on every ``GET`` (any path; scrapers
+conventionally hit ``/metrics``).  The implementation is a few dozen
+lines of asyncio on the node's own event loop — no HTTP framework, no
+dependency — because the body is just :meth:`MetricsRegistry.to_text`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+async def _handle(reader: asyncio.StreamReader,
+                  writer: asyncio.StreamWriter,
+                  registry: MetricsRegistry) -> None:
+    try:
+        # Drain the request line + headers; the reply ignores both.
+        try:
+            await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=5.0)
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                asyncio.TimeoutError):
+            return
+        body = registry.to_text().encode("utf-8")
+        writer.write(
+            b"HTTP/1.0 200 OK\r\n"
+            b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            + ("Content-Length: %d\r\n\r\n" % len(body)).encode("ascii")
+            + body
+        )
+        await writer.drain()
+    except (ConnectionError, OSError):
+        pass
+    finally:
+        try:
+            writer.close()
+        except OSError:
+            pass
+
+
+async def start_stats_server(host: str = "127.0.0.1", port: int = 0,
+                             registry: Optional[MetricsRegistry] = None
+                             ) -> asyncio.AbstractServer:
+    """Serve the registry's text exposition; returns the bound server."""
+    reg = registry if registry is not None else get_registry()
+
+    async def handler(reader, writer):
+        await _handle(reader, writer, reg)
+
+    return await asyncio.start_server(handler, host, port)
+
+
+def read_stats(host: str, port: int, timeout: float = 5.0) -> str:
+    """Blocking scrape of a stats endpoint; returns the body text."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    raw = b"".join(chunks)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    if not head.startswith(b"HTTP/1.0 200"):
+        raise ConnectionError("stats endpoint replied %r" % head[:64])
+    return body.decode("utf-8")

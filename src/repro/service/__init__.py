@@ -22,13 +22,21 @@ powerful server and verifying its answers):
   the scalar backend scales with cores too), selected per deployment
   via ``REPRO_POOL_MODE=auto|thread|process|inline``; wall-clock
   Map-Reduce scaling with byte-identical transcripts in every mode;
-* :mod:`repro.service.loadgen` — many concurrent sessions, measured;
+* :mod:`repro.service.loadgen` — many concurrent sessions, measured,
+  with per-phase (dial/update/query/verify) latency breakdowns;
 * :mod:`repro.service.ring` / :mod:`repro.service.cluster` /
   :mod:`repro.service.supervisor` — the self-healing replicated
   cluster: a consistent-hash router fanning updates to every replica
   and failing queries over between nodes, plus the supervisor that
   restarts dead nodes from snapshots and resyncs their missed update
   tails from peers before readmitting them.
+
+Observability (:mod:`repro.obs`) threads through every layer: trace ids
+ride a negotiated version-2 frame-header extension end to end, a
+process-wide metrics registry counts retries/failovers/degradations and
+times proof rounds, and every recovery decision point emits a structured
+JSON log line — with the transcript bytes provably unchanged whether
+instrumentation is on or off.
 """
 
 from repro.service.client import (
@@ -48,7 +56,12 @@ from repro.service.faults import (
     Fault,
     FaultSchedule,
 )
-from repro.service.loadgen import LoadReport, run_cluster_load, run_load
+from repro.service.loadgen import (
+    PHASES,
+    LoadReport,
+    run_cluster_load,
+    run_load,
+)
 from repro.service.pool import (
     POOL_MODE_ENV_VAR,
     PoolConfigError,
@@ -95,6 +108,7 @@ __all__ = [
     "LoadReport",
     "NO_RETRY",
     "NodeSupervisor",
+    "PHASES",
     "POOL_MODE_ENV_VAR",
     "ProcessNodeManager",
     "ProcessPooledDistributedF2Prover",

@@ -21,6 +21,7 @@ import asyncio
 import os
 import sys
 
+from repro import obs
 from repro.field.modular import DEFAULT_FIELD, PrimeField
 from repro.service.pool import POOL_MODE_ENV_VAR, POOL_MODES
 from repro.service.registry import SessionRegistry
@@ -61,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker-pool F2 execution mode (default: "
                              "the %s environment variable, then auto)"
                              % POOL_MODE_ENV_VAR)
+    parser.add_argument("--node-name", default="",
+                        help="observability tag stamped on this node's "
+                             "spans, logs and H_STATS replies")
+    parser.add_argument("--stats", type=int, default=None, metavar="PORT",
+                        help="serve Prometheus-style metrics exposition "
+                             "over HTTP on this port (0 picks a free one); "
+                             "announced as REPRO-STATS LISTENING")
     return parser
 
 
@@ -75,6 +83,7 @@ def make_server(args: argparse.Namespace) -> ProverServer:
         max_inflight_queries=args.max_inflight_queries,
         rate_limit=tuple(args.rate_limit) if args.rate_limit else None,
         idle_timeout=args.idle_timeout,
+        node_name=args.node_name,
     )
     if args.snapshot and os.path.exists(args.snapshot):
         return ProverServer.from_snapshot(args.snapshot, field, **kwargs)
@@ -82,10 +91,15 @@ def make_server(args: argparse.Namespace) -> ProverServer:
 
 
 async def _run(server: ProverServer, snapshot: str,
-               interval: float) -> None:
+               interval: float, stats_port=None) -> None:
     await server.start()
     print("REPRO-SERVICE LISTENING %s %d" % (server.host, server.port),
           flush=True)
+    if stats_port is not None:
+        stats_server = await obs.start_stats_server(server.host,
+                                                    stats_port)
+        host, port = stats_server.sockets[0].getsockname()[:2]
+        print("REPRO-STATS LISTENING %s %d" % (host, port), flush=True)
     if snapshot and interval:
         async def persist() -> None:
             while True:
@@ -109,9 +123,15 @@ def main(argv=None) -> int:
         # The router reads the knob per prover construction, so setting
         # the env var here covers every query this node will serve.
         os.environ[POOL_MODE_ENV_VAR] = args.pool_mode
+    if args.node_name:
+        # Stamp the node id on every span and log line this process
+        # emits (sinks stay env-configured: REPRO_TRACE / REPRO_LOG).
+        obs.configure_tracing(node=args.node_name)
+        obs.configure_logging(node=args.node_name)
     server = make_server(args)
     try:
-        asyncio.run(_run(server, args.snapshot, args.snapshot_interval))
+        asyncio.run(_run(server, args.snapshot, args.snapshot_interval,
+                         stats_port=args.stats))
     except KeyboardInterrupt:
         pass
     return 0

@@ -18,12 +18,14 @@ additionally meters raw bytes per query (:class:`QueryOutcome.cost`).
 from __future__ import annotations
 
 import copy
+import json
 import random
 import socket
 import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.comm.channel import Channel, TamperHook
 from repro.comm.transcript import Transcript
 from repro.core.base import VerificationResult, pow2_dimension
@@ -461,6 +463,10 @@ class ServiceClient:
         #: Busy/rate-limit refusals absorbed by backoff.
         self.refusals = 0
         self.reconnects = 0
+        #: Wall-clock seconds spent blocked on the socket (send + recv);
+        #: the load generator subtracts this from a query's total to
+        #: split wire wait from local verify compute.
+        self.wire_seconds = 0.0
         #: Last operation the server acknowledged (for error context).
         self._last_acked = "connect"
         self._sock: Optional[socket.socket] = None
@@ -468,6 +474,20 @@ class ServiceClient:
         #: the idempotence anchor: a resent block whose updates the
         #: server already counted is skipped, not double-applied.
         self._server_updates = 0
+        #: Trace propagation: ids ride in version-2 frames only after
+        #: the server's HELLO_ACK advertises TRACE_CAPABLE, so an old
+        #: server never sees a frame version it cannot parse.  Span and
+        #: trace ids come from ``os.urandom`` (via the tracer) — never
+        #: from ``self._rng``/``self._retry_rng``, whose draw sequences
+        #: the transcript-equality invariant depends on.
+        self._tracer = obs.get_tracer()
+        self._trace_capable = False
+        #: One client session = one trace: the root span under which
+        #: every update block, query, round and server-side span nests.
+        self._session_span = self._tracer.span(
+            "client.session", root=True, dataset=dataset_id
+        )
+        self._session_span.__enter__()
 
         # The opening dial honours the retry policy too: no state exists
         # yet, so re-dialling after a transport fault is trivially safe.
@@ -481,6 +501,7 @@ class ServiceClient:
                 if dials >= self.retry.max_attempts:
                     raise
                 self.retries += 1
+                obs.counter("repro_client_retries_total", op="dial").inc()
                 time.sleep(self.retry.delay(dials - 1, self._retry_rng))
         #: Updates the dataset already held when this session joined —
         #: fetch them with :meth:`replay_missed` before provisioning can
@@ -515,14 +536,23 @@ class ServiceClient:
             raise self._unavailable("dial failed: %s" % exc) from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock.settimeout(self.op_timeout)
-        _t, session_id, payload = self._request(
-            sp.T_HELLO, 0,
-            sp.hello_payload(self.field, self.u, self.dataset_id),
-            expect=sp.T_HELLO_ACK,
-        )
+        with self._tracer.span("client.session.open",
+                               host=self._host, port=self._port):
+            _t, session_id, payload = self._request(
+                sp.T_HELLO, 0,
+                sp.hello_payload(self.field, self.u, self.dataset_id),
+                expect=sp.T_HELLO_ACK,
+            )
         self.session_id = session_id
         words = sp.parse_words(self.field, payload)
         self._server_updates = words[0] if words else 0
+        # Word 3 (when present) is the server's TRACE_CAPABLE
+        # advertisement: only then may this connection carry version-2
+        # frames.  Re-checked on every (re)connect, so a failover onto
+        # an older server quietly falls back to plain frames.
+        self._trace_capable = (
+            len(words) >= 3 and words[2] == sp.TRACE_CAPABLE
+        )
         self._last_acked = "hello"
 
     def reconnect(self, host: Optional[str] = None,
@@ -539,6 +569,7 @@ class ServiceClient:
             self._port = port
         self._connect()
         self.reconnects += 1
+        obs.counter("repro_client_reconnects_total").inc()
 
     # -- provisioning --------------------------------------------------------
 
@@ -627,7 +658,9 @@ class ServiceClient:
         def already_done() -> bool:
             return self._server_updates >= target
 
-        self._with_retries(attempt, "updates", already_done=already_done)
+        with self._tracer.span("client.update.block",
+                               n=len(chunk), vector=vector):
+            self._with_retries(attempt, "updates", already_done=already_done)
 
     def put(self, key: int, delta: int, vector: int = 0) -> None:
         self.send_updates([(key, delta)], vector=vector)
@@ -655,7 +688,7 @@ class ServiceClient:
             # Resume from the number of updates already fed through the
             # pools: a mid-replay disconnect re-requests only the tail,
             # so no pool ever double-counts a block.
-            self._send(sp.pack_frame(
+            self._send(self._frame(
                 sp.T_REPLAY_REQUEST,
                 self.session_id,
                 sp.words_payload(self.field, [self.updates_streamed]),
@@ -739,9 +772,13 @@ class ServiceClient:
             state["channel"] = channel
             completed = False
             try:
-                state["result"] = QueryRouter.run(
-                    unit, proxy, state["verifier"], channel
-                )
+                # The interactive verification — every proof round and
+                # the final accept/reject decision — runs inside this
+                # span; the per-round spans nest under it.
+                with self._tracer.span("client.verify"):
+                    state["result"] = QueryRouter.run(
+                        unit, proxy, state["verifier"], channel
+                    )
                 completed = True
             finally:
                 # Best-effort close: if the transport just died the
@@ -761,7 +798,11 @@ class ServiceClient:
         def on_retry() -> None:
             state["verifier"] = copy.deepcopy(pristine)
 
-        self._with_retries(attempt, "query", on_retry=on_retry)
+        with self._tracer.span(
+            "client.query", batched=unit.batched,
+            kinds=[q.name for q in unit.descriptors],
+        ):
+            self._with_retries(attempt, "query", on_retry=on_retry)
         result = state["result"]
         channel = state["channel"]
 
@@ -778,6 +819,12 @@ class ServiceClient:
                     bytes_received=self.bytes_received - recv0,
                     frames=cost_frames,
                 )
+                # The live mirror of the paper's accounting: the
+                # metrics-vs-accounting cross-check asserts these
+                # observations equal Channel.query_cost exactly.
+                obs.histogram("repro_client_query_words",
+                              kind=descriptor.name).observe(
+                    cost.transcript_words)
                 out.append((descriptor, QueryOutcome(
                     descriptor, res, cost, transcript=channel.transcript
                 )))
@@ -789,6 +836,8 @@ class ServiceClient:
             frames=cost_frames,
         )
         descriptor = unit.descriptors[0]
+        obs.histogram("repro_client_query_words",
+                      kind=descriptor.name).observe(cost.transcript_words)
         return [(descriptor, QueryOutcome(
             descriptor, result, cost, transcript=channel.transcript
         ))]
@@ -830,7 +879,16 @@ class ServiceClient:
                 "queries_served"]
         return dict(zip(keys, words))
 
+    def stats_json(self):
+        """The server's metrics snapshot (the H_STATS frame): a dict of
+        the remote metrics registry plus server/registry counters."""
+        _t, _s, payload = self._request(
+            sp.H_STATS, 0, b"", expect=sp.H_STATS_REPLY
+        )
+        return json.loads(payload.decode("utf-8"))
+
     def close(self) -> None:
+        self._session_span.end()
         if self._sock is None:
             return
         try:
@@ -850,12 +908,19 @@ class ServiceClient:
 
     def _prover_call(self, ref: int, method: int,
                      args: Sequence[int]) -> List[int]:
-        _t, _s, payload = self._request(
-            sp.T_P_CALL,
-            self.session_id,
-            sp.words_payload(self.field, [ref, method, *args]),
-            expect=sp.T_P_REPLY,
-        )
+        # Round-message calls are the proof rounds; each gets its own
+        # span so the server's per-round spans nest one level deeper.
+        if method in (sp.M_ROUND_MESSAGE, sp.M_ROUND_MESSAGES):
+            span = self._tracer.span("client.proof.round", method=method)
+        else:
+            span = obs.NOOP_SPAN
+        with span:
+            _t, _s, payload = self._request(
+                sp.T_P_CALL,
+                self.session_id,
+                sp.words_payload(self.field, [ref, method, *args]),
+                expect=sp.T_P_REPLY,
+            )
         return sp.parse_words(self.field, payload)
 
     def _unavailable(self, message: str) -> ServiceUnavailableError:
@@ -864,33 +929,56 @@ class ServiceClient:
             last_acked=self._last_acked,
         )
 
+    def _frame(self, frame_type: int, session_id: int,
+               payload: bytes = b"") -> bytes:
+        """Pack a frame, stamping the current trace context when the
+        server negotiated version-2 support and a span is open."""
+        if self._trace_capable and self._tracer.enabled:
+            ctx = obs.current()
+            if ctx is not None:
+                return sp.pack_frame(frame_type, session_id, payload,
+                                     trace=ctx.pair())
+        return sp.pack_frame(frame_type, session_id, payload)
+
     def _send(self, frame: bytes) -> None:
         if self._sock is None:
             raise self._unavailable("client is not connected")
+        t0 = time.perf_counter()
         try:
             self._sock.sendall(frame)
         except socket.timeout as exc:
+            obs.counter("repro_client_deadline_hits_total", op="send").inc()
             raise self._unavailable("send timed out: %s" % exc) from exc
         except OSError as exc:
             raise self._unavailable("send failed: %s" % exc) from exc
+        finally:
+            self.wire_seconds += time.perf_counter() - t0
         self.bytes_sent += len(frame)
         self.frames_sent += 1
 
     def _recv_exact(self, count: int) -> bytes:
         chunks = []
-        while count:
-            try:
-                chunk = self._sock.recv(count)
-            except socket.timeout as exc:
-                raise self._unavailable(
-                    "receive timed out after %.3gs" % self.op_timeout
-                ) from exc
-            except OSError as exc:
-                raise self._unavailable("receive failed: %s" % exc) from exc
-            if not chunk:
-                raise self._unavailable("connection closed by the service")
-            chunks.append(chunk)
-            count -= len(chunk)
+        t0 = time.perf_counter()
+        try:
+            while count:
+                try:
+                    chunk = self._sock.recv(count)
+                except socket.timeout as exc:
+                    obs.counter("repro_client_deadline_hits_total",
+                                op="recv").inc()
+                    raise self._unavailable(
+                        "receive timed out after %.3gs" % self.op_timeout
+                    ) from exc
+                except OSError as exc:
+                    raise self._unavailable(
+                        "receive failed: %s" % exc) from exc
+                if not chunk:
+                    raise self._unavailable(
+                        "connection closed by the service")
+                chunks.append(chunk)
+                count -= len(chunk)
+        finally:
+            self.wire_seconds += time.perf_counter() - t0
         return b"".join(chunks)
 
     def _recv(self) -> Tuple[int, int, bytes]:
@@ -899,6 +987,11 @@ class ServiceClient:
             frame_type, session_id, length = sp.unpack_header(
                 header, max_payload=self.max_payload
             )
+            # Replies are version 1 today, but tolerate a traced reply
+            # (the extension is observability data, not payload).
+            ext_len = sp.header_ext_len(header)
+            if ext_len:
+                self._recv_exact(ext_len)
             payload = self._recv_exact(length) if length else b""
         except sp.ServiceProtocolError as exc:
             # Structural damage on the inbound stream is a transport
@@ -915,7 +1008,7 @@ class ServiceClient:
                  expect: int) -> Tuple[int, int, bytes]:
         busy = 0
         while True:
-            self._send(sp.pack_frame(frame_type, session_id, payload))
+            self._send(self._frame(frame_type, session_id, payload))
             reply_type, reply_session, reply_payload = self._recv()
             if reply_type == sp.T_ERROR:
                 code, message = sp.parse_error_struct(reply_payload)
@@ -928,6 +1021,7 @@ class ServiceClient:
                     if busy >= self.retry.max_attempts:
                         raise ServiceBusyError(message, code=code)
                     self.refusals += 1
+                    obs.counter("repro_client_refusals_total").inc()
                     time.sleep(self.retry.delay(busy - 1, self._retry_rng))
                     continue
                 if code in sp.RETRYABLE_RECONNECT:
@@ -964,6 +1058,7 @@ class ServiceClient:
                 if failures >= self.retry.max_attempts:
                     raise
                 self.retries += 1
+                obs.counter("repro_client_retries_total", op=op).inc()
                 time.sleep(self.retry.delay(failures - 1, self._retry_rng))
                 try:
                     self.reconnect()

@@ -46,13 +46,17 @@ busy cluster never reaches.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.field.modular import PrimeField
 from repro.service import protocol as sp
 from repro.service.ring import DEFAULT_VNODES, HashRing
+
+_log = obs.get_logger("service.cluster")
 
 #: Node health states.
 NODE_ALIVE = "alive"      # routable, receives fan-out
@@ -137,6 +141,14 @@ class _BackendLink:
             self._reader.readexactly(sp.HEADER_LEN), self._timeout
         )
         frame_type, session_id, length = sp.unpack_header(header)
+        # A version-2 frame's trace extension stays attached to the
+        # header, so relays (which write header + payload) forward it
+        # verbatim without touching the payload bytes.
+        ext_len = sp.header_ext_len(header)
+        if ext_len:
+            header += await asyncio.wait_for(
+                self._reader.readexactly(ext_len), self._timeout
+            )
         payload = b""
         if length:
             payload = await asyncio.wait_for(
@@ -291,6 +303,9 @@ class ClusterRouter:
             # Out of the fan-out, so its data goes stale immediately:
             # forget every sync mark; only readmission restores them.
             self.synced[node_id].clear()
+            obs.counter("repro_cluster_health_transitions_total",
+                        to=NODE_DEAD).inc()
+            _log.warning("node.dead", node=node_id, epoch=health.epoch)
 
     async def _probe(self, node: ClusterNode) -> bool:
         link = None
@@ -319,6 +334,11 @@ class ClusterRouter:
                     health.missed = 0
                     # A suspect that answers again never left the
                     # fan-out, so no data was missed: plain revival.
+                    if health.state != NODE_ALIVE:
+                        obs.counter(
+                            "repro_cluster_health_transitions_total",
+                            to=NODE_ALIVE).inc()
+                        _log.info("node.revived", node=node_id)
                     health.state = NODE_ALIVE
                 else:
                     health.probes_failed += 1
@@ -326,6 +346,12 @@ class ClusterRouter:
                     if health.missed >= self.dead_after:
                         self._node_failed(node_id)
                     else:
+                        if health.state != NODE_SUSPECT:
+                            obs.counter(
+                                "repro_cluster_health_transitions_total",
+                                to=NODE_SUSPECT).inc()
+                            _log.warning("node.suspect", node=node_id,
+                                         missed=health.missed)
                         health.state = NODE_SUSPECT
 
     # -- readmission ---------------------------------------------------------
@@ -365,8 +391,12 @@ class ClusterRouter:
             # readmissions of an already-live node (the supervisor
             # closing remaining sync holes) are the same incarnation.
             health.epoch += 1
+            obs.counter("repro_cluster_health_transitions_total",
+                        to=NODE_ALIVE).inc()
         health.state = NODE_ALIVE
         health.missed = 0
+        _log.info("node.readmitted", node=node_id, epoch=health.epoch,
+                  lagging=sorted(lag))
         return lag
 
     def _mark_dead(self, node_id: str) -> None:
@@ -436,6 +466,11 @@ class ClusterRouter:
                                  ) -> Tuple[int, int, bytes, bytes]:
         header = await reader.readexactly(sp.HEADER_LEN)
         frame_type, session_id, length = sp.unpack_header(header)
+        # Keep a traced frame's extension with the header (see
+        # _BackendLink.read_frame): the relay legs forward it untouched.
+        ext_len = sp.header_ext_len(header)
+        if ext_len:
+            header += await reader.readexactly(ext_len)
         payload = await reader.readexactly(length) if length else b""
         return frame_type, session_id, header, payload
 
@@ -457,6 +492,10 @@ class ClusterRouter:
             await conversation.run(reader, writer)
         except _PrimaryDown:
             self.failovers += 1
+            obs.counter("repro_cluster_failovers_total").inc()
+            _log.warning("cluster.failover",
+                         primary=conversation.primary_id,
+                         dataset=conversation.dataset_id)
         except (asyncio.IncompleteReadError, ConnectionError, OSError):
             pass
         except sp.ServiceProtocolError as exc:
@@ -526,6 +565,24 @@ class _Conversation:
             await router._read_client_frame(reader)
         if frame_type == sp.H_PING:
             writer.write(router._router_status_frame())
+            await writer.drain()
+            return
+        if frame_type == sp.H_STATS:
+            stats = {
+                "node": "router",
+                "metrics": obs.get_registry().snapshot(),
+                "router": {
+                    "failovers": router.failovers,
+                    "fanout_errors": router.fanout_errors,
+                    "health": {node_id: health.state
+                               for node_id, health
+                               in sorted(router.health.items())},
+                },
+            }
+            writer.write(sp.pack_frame(
+                sp.H_STATS_REPLY, 0,
+                json.dumps(stats, sort_keys=True).encode("utf-8"),
+            ))
             await writer.drain()
             return
         if frame_type != sp.T_HELLO:
@@ -616,7 +673,8 @@ class _Conversation:
 
     # -- replication ---------------------------------------------------------
 
-    async def _open_mirror(self, node_id: str
+    async def _open_mirror(self, node_id: str,
+                           trace: Optional[Tuple[int, int]] = None
                            ) -> Tuple[_BackendLink, int, int]:
         node = self.router.nodes[node_id]
         epoch = self.router.health[node_id].epoch
@@ -624,7 +682,8 @@ class _Conversation:
                                        self.router.backend_timeout)
         try:
             frame_type, session_id, _h, _p = await link.request(
-                sp.pack_frame(sp.T_HELLO, 0, self.hello_payload)
+                sp.pack_frame(sp.T_HELLO, 0, self.hello_payload,
+                              trace=trace)
             )
         except _BACKEND_ERRORS:
             link.close()
@@ -650,6 +709,12 @@ class _Conversation:
         missing.
         """
         router = self.router
+        # A version-2 client frame carries its trace extension appended
+        # to the header; each fan-out leg forwards it (re-parented under
+        # a router leg span when tracing is on here) so mirror-side
+        # spans join the client's tree.
+        trace = (sp.parse_trace_ext(header[sp.HEADER_LEN:])
+                 if len(header) > sp.HEADER_LEN else None)
         self.meta.inflight += 1
         try:
             try:
@@ -674,55 +739,80 @@ class _Conversation:
                     continue
                 if self.dataset_id not in router.synced[node_id]:
                     continue
-                for _attempt in range(2):
-                    try:
-                        entry = self.mirrors.get(node_id)
-                        if entry is None:
-                            entry = await self._open_mirror(node_id)
-                            self.mirrors[node_id] = entry
-                        link, mirror_session, _link_epoch = entry
-                        mirror_type, _ms, _mh, mp = await link.request(
-                            sp.pack_frame(sp.T_UPDATES, mirror_session,
-                                          payload)
-                        )
-                        if mirror_type != sp.T_UPDATES_ACK:
-                            raise sp.ServiceProtocolError(
-                                "mirror %s refused an update block"
-                                % node_id
-                            )
-                        mirror_words = sp.parse_words(router.field, mp)
-                        if total is not None and (
-                            not mirror_words or mirror_words[0] != total
-                        ):
-                            raise sp.ServiceProtocolError(
-                                "mirror %s diverged: %r != %r"
-                                % (node_id, mirror_words, total)
-                            )
-                        break
-                    except _BACKEND_ERRORS:
-                        stale = self.mirrors.pop(node_id, None)
-                        if stale is not None:
-                            stale[0].close()
-                        if stale is not None and \
-                                stale[2] != router.health[node_id].epoch:
-                            # The link predates the node's current
-                            # incarnation (it was healed since): redial
-                            # — the block must still reach the replica,
-                            # and the failure says nothing about the
-                            # restarted process.
-                            continue
-                        # A failed or diverged mirror leaves the replica
-                        # set; peers keep the data and the supervisor
-                        # resyncs it from them.
-                        router.fanout_errors += 1
-                        router._node_failed(node_id)
-                        break
+                tracer = obs.get_tracer()
+                if trace is not None and tracer.enabled:
+                    leg_span = tracer.span(
+                        "router.fanout.leg",
+                        parent=obs.TraceContext(*trace),
+                        replica=node_id,
+                    )
+                else:
+                    leg_span = obs.NOOP_SPAN
+                leg_trace = (leg_span.ctx.pair()
+                             if leg_span.ctx is not None else trace)
+                try:
+                    await self._fanout_leg(node_id, payload, total,
+                                           leg_trace)
+                finally:
+                    leg_span.end()
             if total is not None:
                 self.meta.updates = total
             writer.write(rh + rp)
             await writer.drain()
         finally:
             self.meta.inflight -= 1
+
+    async def _fanout_leg(self, node_id: str, payload: bytes,
+                          total: Optional[int],
+                          trace: Optional[Tuple[int, int]]) -> None:
+        """Apply one update block on one mirror (one redial allowed)."""
+        router = self.router
+        for _attempt in range(2):
+            try:
+                entry = self.mirrors.get(node_id)
+                if entry is None:
+                    entry = await self._open_mirror(node_id, trace)
+                    self.mirrors[node_id] = entry
+                link, mirror_session, _link_epoch = entry
+                mirror_type, _ms, _mh, mp = await link.request(
+                    sp.pack_frame(sp.T_UPDATES, mirror_session,
+                                  payload, trace=trace)
+                )
+                if mirror_type != sp.T_UPDATES_ACK:
+                    raise sp.ServiceProtocolError(
+                        "mirror %s refused an update block"
+                        % node_id
+                    )
+                mirror_words = sp.parse_words(router.field, mp)
+                if total is not None and (
+                    not mirror_words or mirror_words[0] != total
+                ):
+                    raise sp.ServiceProtocolError(
+                        "mirror %s diverged: %r != %r"
+                        % (node_id, mirror_words, total)
+                    )
+                break
+            except _BACKEND_ERRORS:
+                stale = self.mirrors.pop(node_id, None)
+                if stale is not None:
+                    stale[0].close()
+                if stale is not None and \
+                        stale[2] != router.health[node_id].epoch:
+                    # The link predates the node's current
+                    # incarnation (it was healed since): redial
+                    # — the block must still reach the replica,
+                    # and the failure says nothing about the
+                    # restarted process.
+                    continue
+                # A failed or diverged mirror leaves the replica
+                # set; peers keep the data and the supervisor
+                # resyncs it from them.
+                router.fanout_errors += 1
+                obs.counter("repro_cluster_fanout_errors_total").inc()
+                _log.warning("fanout.leg_failed", node=node_id,
+                             dataset=self.dataset_id)
+                router._node_failed(node_id)
+                break
 
 
 class RouterHandle:

@@ -289,6 +289,11 @@ class ChaosProxy:
             try:
                 header = await reader.readexactly(sp.HEADER_LEN)
                 _type, _session, length = sp.unpack_header(header)
+                ext_len = sp.header_ext_len(header)
+                if ext_len:
+                    # Keep a version-2 frame's trace extension glued to
+                    # the header so every relay below forwards it intact.
+                    header += await reader.readexactly(ext_len)
                 payload = (await reader.readexactly(length)
                            if length else b"")
             except (asyncio.IncompleteReadError, ConnectionError, OSError,
@@ -321,7 +326,7 @@ class ChaosProxy:
                     writer.write(damaged + payload)
                     await writer.drain()
                 elif fault.kind == KIND_TRUNCATE:
-                    cut = sp.HEADER_LEN + len(payload) // 2
+                    cut = len(header) + len(payload) // 2
                     writer.write((header + payload)[:cut])
                     await writer.drain()
                     await close_both()

@@ -35,6 +35,14 @@ def _percentile(samples: List[float], q: float) -> float:
     return ordered[rank]
 
 
+#: Session-lifecycle phases broken out in :meth:`LoadReport.as_record`:
+#: ``dial`` (connect + provision + replay), ``update`` (streaming),
+#: ``query`` (whole verified query call) and ``verify`` (the query call
+#: minus time spent waiting on the wire — the client-side LDE/check
+#: work).
+PHASES = ("dial", "update", "query", "verify")
+
+
 @dataclass
 class LoadReport:
     """Aggregate results of one load-generation run."""
@@ -51,6 +59,10 @@ class LoadReport:
     #: Wall-clock seconds per ``client.query()`` call (one sample per
     #: call, faults and retries included — tail latency is the point).
     query_latencies: List[float] = dataclass_field(default_factory=list)
+    #: Per-phase samples (:data:`PHASES`), one list per phase; empty
+    #: phases are omitted from :meth:`as_record`.
+    phase_latencies: Dict[str, List[float]] = dataclass_field(
+        default_factory=dict)
     #: Fault-tolerance tallies summed over all sessions' clients.
     retries: int = 0
     refusals: int = 0
@@ -89,6 +101,10 @@ class LoadReport:
         return _percentile(self.query_latencies, 0.50)
 
     @property
+    def p95_latency(self) -> float:
+        return _percentile(self.query_latencies, 0.95)
+
+    @property
     def p99_latency(self) -> float:
         return _percentile(self.query_latencies, 0.99)
 
@@ -106,6 +122,7 @@ class LoadReport:
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
             "query_p50_seconds": self.p50_latency,
+            "query_p95_seconds": self.p95_latency,
             "query_p99_seconds": self.p99_latency,
             "retries": self.retries,
             "refusals": self.refusals,
@@ -115,6 +132,17 @@ class LoadReport:
             "pool_workers": self.pool_workers,
             "cores": self.cores or (os.cpu_count() or 1),
         }
+        # Additive keys only: consumers of the pre-phase schema read
+        # the record unchanged.
+        for phase in PHASES:
+            samples = self.phase_latencies.get(phase) or []
+            if samples:
+                record["phase_%s_p50_seconds" % phase] = \
+                    _percentile(samples, 0.50)
+                record["phase_%s_p95_seconds" % phase] = \
+                    _percentile(samples, 0.95)
+                record["phase_%s_p99_seconds" % phase] = \
+                    _percentile(samples, 0.99)
         if self.nodes:
             record.update({
                 "nodes": self.nodes,
@@ -132,6 +160,7 @@ def session_workload(
     queries: List[QueryDescriptor],
     rng: random.Random,
     latency_sink: Optional[List[float]] = None,
+    phase_sink: Optional[Dict[str, List[float]]] = None,
 ) -> List:
     """One session's life: stream a KV workload, then verify queries."""
     pairs = key_value_pairs(client.u, min(updates, client.u // 2), rng=rng)
@@ -141,15 +170,27 @@ def session_workload(
     while len(encoded) < updates:
         k, _v = pairs[rng.randrange(len(pairs))]
         encoded.append((k, 1))
+    t0 = time.perf_counter()
     client.send_updates(encoded[:updates])
-    return _timed_query(client, queries, latency_sink)
+    if phase_sink is not None:
+        phase_sink.setdefault("update", []).append(
+            time.perf_counter() - t0)
+    return _timed_query(client, queries, latency_sink, phase_sink)
 
 
-def _timed_query(client, queries, latency_sink):
+def _timed_query(client, queries, latency_sink, phase_sink=None):
+    wire0 = getattr(client, "wire_seconds", 0.0)
     t0 = time.perf_counter()
     outcomes = client.query(*queries)
+    total = time.perf_counter() - t0
     if latency_sink is not None:
-        latency_sink.append(time.perf_counter() - t0)
+        latency_sink.append(total)
+    if phase_sink is not None:
+        phase_sink.setdefault("query", []).append(total)
+        # Verify-side work = the query call minus its wire waits: what
+        # the *client's* CPU spent interpolating, folding and checking.
+        wire = getattr(client, "wire_seconds", 0.0) - wire0
+        phase_sink.setdefault("verify", []).append(max(0.0, total - wire))
     return outcomes
 
 
@@ -203,6 +244,7 @@ def run_load(
     }
     failures: List[str] = []
     latencies: List[float] = []
+    phases: Dict[str, List[float]] = {}
     extra_kwargs = dict(client_kwargs or {})
     # Pools follow the *plan*, not the raw descriptors: a mixed
     # sum-check batch consumes one copy from the ("batch",) pool
@@ -215,7 +257,9 @@ def run_load(
     def one_session(index: int) -> None:
         rng = random.Random(seed * 10007 + index)
         session_latencies: List[float] = []
+        session_phases: Dict[str, List[float]] = {}
         try:
+            dial_t0 = time.perf_counter()
             client = ServiceClient(
                 host,
                 port,
@@ -232,13 +276,19 @@ def run_load(
                     client.provision(key, copies)
                 if shared_dataset and client.missed_updates:
                     client.replay_missed()
+                    session_phases.setdefault("dial", []).append(
+                        time.perf_counter() - dial_t0)
                     outcomes = _timed_query(
-                        client, queries, session_latencies
+                        client, queries, session_latencies,
+                        session_phases,
                     )
                 else:
+                    session_phases.setdefault("dial", []).append(
+                        time.perf_counter() - dial_t0)
                     outcomes = session_workload(
                         client, updates_per_session, queries, rng,
                         latency_sink=session_latencies,
+                        phase_sink=session_phases,
                     )
             with lock:
                 totals["queries_run"] += len(outcomes)
@@ -254,6 +304,8 @@ def run_load(
                 totals["refusals"] += client.refusals
                 totals["reconnects"] += client.reconnects
                 latencies.extend(session_latencies)
+                for phase, samples in session_phases.items():
+                    phases.setdefault(phase, []).extend(samples)
         except Exception as exc:  # noqa: BLE001 - reported, not swallowed
             with lock:
                 failures.append("session %d: %r" % (index, exc))
@@ -287,6 +339,7 @@ def run_load(
         bytes_received=totals["received"],
         failures=failures,
         query_latencies=latencies,
+        phase_latencies=phases,
         retries=totals["retries"],
         refusals=totals["refusals"],
         reconnects=totals["reconnects"],

@@ -38,6 +38,7 @@ from concurrent.futures import (
 )
 from typing import Callable, List, Optional, Sequence
 
+from repro import obs
 from repro.distributed.sharded import DistributedF2Prover
 from repro.field.modular import PrimeField
 from repro.field.vectorized import HAVE_NUMPY, canonical_table, get_backend
@@ -52,6 +53,8 @@ from repro.service.shm import (
     shm_round_sums_shard,
     shm_touch,
 )
+
+_log = obs.get_logger("service.pool")
 
 #: Environment knob selecting the pooled prover's execution mode.
 POOL_MODE_ENV_VAR = "REPRO_POOL_MODE"
@@ -110,6 +113,11 @@ class PooledDistributedF2Prover(DistributedF2Prover):
 
     # -- pool lifecycle ------------------------------------------------------
 
+    @property
+    def effective_mode(self) -> str:
+        """Where the map step currently runs: thread or inline."""
+        return "inline" if self._degraded else "thread"
+
     def _make_executor(self):
         if self._executor_factory is not None:
             return self._executor_factory()
@@ -164,45 +172,64 @@ class PooledDistributedF2Prover(DistributedF2Prover):
         items = list(items)
         results: List = [None] * len(items)
         done = [False] * len(items)
-        while not all(done):
-            if self._degraded:
-                for i, item in enumerate(items):
-                    if not done[i]:
-                        results[i] = fn(item)
-                        done[i] = True
-                break
-            pending = [i for i in range(len(items)) if not done[i]]
-            futures = []
-            broke = False
-            for i in pending:
-                try:
-                    futures.append((i, self.executor.submit(fn, items[i])))
-                except (BrokenExecutor, RuntimeError):
-                    broke = True
+        tracer = obs.get_tracer()
+        if tracer.enabled and obs.current() is not None:
+            map_span = tracer.span("pool.map", tasks=len(items),
+                                   mode=self.effective_mode)
+        else:
+            map_span = obs.NOOP_SPAN
+        with map_span:
+            while not all(done):
+                if self._degraded:
+                    for i, item in enumerate(items):
+                        if not done[i]:
+                            results[i] = fn(item)
+                            done[i] = True
                     break
-            # Harvest whatever was accepted before declaring the pool
-            # dead: a completed task's result must not be thrown away,
-            # or its (possibly stateful) work would run twice.
-            for i, future in futures:
-                try:
-                    results[i] = future.result()
-                    done[i] = True
-                except (BrokenExecutor, RuntimeError, CancelledError):
-                    broke = True
-            if broke:
-                self._note_pool_failure()
+                pending = [i for i in range(len(items)) if not done[i]]
+                futures = []
+                broke = False
+                for i in pending:
+                    try:
+                        futures.append(
+                            (i, self.executor.submit(fn, items[i]))
+                        )
+                    except (BrokenExecutor, RuntimeError):
+                        broke = True
+                        break
+                # Harvest whatever was accepted before declaring the pool
+                # dead: a completed task's result must not be thrown away,
+                # or its (possibly stateful) work would run twice.
+                for i, future in futures:
+                    try:
+                        results[i] = future.result()
+                        done[i] = True
+                    except (BrokenExecutor, RuntimeError, CancelledError):
+                        broke = True
+                if broke:
+                    self._note_pool_failure()
+                    rerun = sum(1 for flag in done if not flag)
+                    if rerun:
+                        obs.counter(
+                            "repro_pool_task_reruns_total").inc(rerun)
         return results
 
     def _note_pool_failure(self) -> None:
         self.pool_failures += 1
+        obs.counter("repro_pool_failures_total").inc()
         self._discard_executor()
         if self.pool_restarts >= self.MAX_POOL_RESTARTS:
             # Graceful degradation: the proof continues in-process.
             # Slower, never wrong — the tasks are deterministic, so the
             # transcript bytes do not change.
             self._degraded = True
+            obs.counter("repro_pool_degradations_total", to="inline").inc()
+            _log.warning("pool.degraded", to="inline",
+                         failures=self.pool_failures)
         else:
             self.pool_restarts += 1
+            obs.counter("repro_pool_restarts_total").inc()
+            _log.info("pool.rebuilt", restarts=self.pool_restarts)
 
     # -- parallel map steps --------------------------------------------------
 
@@ -351,6 +378,7 @@ class ProcessPooledDistributedF2Prover(PooledDistributedF2Prover):
 
     def _note_pool_failure(self) -> None:
         self.pool_failures += 1
+        obs.counter("repro_pool_failures_total").inc()
         self._discard_executor()
         if self._pool_kind == "process":
             if self._process_restarts >= self.MAX_POOL_RESTARTS:
@@ -358,15 +386,29 @@ class ProcessPooledDistributedF2Prover(PooledDistributedF2Prover):
                 # thread pool in this process (slower under the GIL,
                 # never wrong).
                 self._pool_kind = "thread"
+                obs.counter("repro_pool_degradations_total",
+                            to="thread").inc()
+                _log.warning("pool.degraded", to="thread",
+                             failures=self.pool_failures)
             else:
                 self._process_restarts += 1
                 self.pool_restarts += 1
+                obs.counter("repro_pool_restarts_total").inc()
+                _log.info("pool.rebuilt", kind="process",
+                          restarts=self.pool_restarts)
         else:
             if self._thread_restarts >= self.MAX_POOL_RESTARTS:
                 self._degraded = True
+                obs.counter("repro_pool_degradations_total",
+                            to="inline").inc()
+                _log.warning("pool.degraded", to="inline",
+                             failures=self.pool_failures)
             else:
                 self._thread_restarts += 1
                 self.pool_restarts += 1
+                obs.counter("repro_pool_restarts_total").inc()
+                _log.info("pool.rebuilt", kind="thread",
+                          restarts=self.pool_restarts)
 
     def warm_up(self, delay: float = 0.05) -> List[int]:
         """Spawn and import every pool worker before timed work.

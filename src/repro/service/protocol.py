@@ -11,11 +11,24 @@ session envelope around the transcript format.
 Frame layout (big-endian)::
 
     magic  "SI"        2 bytes
-    version            1 byte   (FRAME_VERSION)
+    version            1 byte   (FRAME_VERSION or FRAME_VERSION_TRACED)
     frame type         1 byte   (T_* constants)
     session id         4 bytes
     payload length     4 bytes
+    [trace extension   16 bytes  — version 2 frames only]
     payload            <length> bytes
+
+Version 2 (:data:`FRAME_VERSION_TRACED`) is version 1 plus a
+fixed-length *trace extension* between header and payload: the sender's
+64-bit trace id and 64-bit span id (:data:`TRACE_EXT_LEN` bytes).  The
+payload — the transcript bytes the :class:`~repro.comm.channel.Channel`
+accounts for — is identical under both versions, which is how
+observability stays off the transcript path.  Traced frames are
+*negotiated*: a server that understands them appends
+:data:`TRACE_CAPABLE` as an extra word to its HELLO_ACK (old clients
+read only the leading words and never notice), and a client only stamps
+version 2 on the wire after seeing that word — so old clients and old
+servers keep speaking plain version 1 to everything.
 
 Decoding validates everything — magic, version, type, length bounds —
 and raises :class:`ServiceProtocolError` (a
@@ -34,8 +47,19 @@ from repro.field.modular import PrimeField
 #: fail the handshake instead of misparsing each other.
 FRAME_VERSION = 1
 
+#: Version byte of a traced frame: same header, then a 16-byte trace
+#: extension (trace id 8 | span id 8) before the payload.
+FRAME_VERSION_TRACED = 2
+
 MAGIC = b"SI"
 HEADER_LEN = 12
+
+#: Length of the version-2 trace extension that follows the header.
+TRACE_EXT_LEN = 16
+
+#: Capability word a trace-aware server appends to its HELLO_ACK words;
+#: clients that see it may send version-2 frames on this connection.
+TRACE_CAPABLE = 1
 
 #: Hard cap on one frame's payload (64 MiB): a declared length beyond
 #: this is damage or abuse, not data.
@@ -68,8 +92,10 @@ T_BYE_ACK = 0x12
 # lookup so a node reports its health even when it refuses new sessions.
 H_PING = 0x13           # router/supervisor -> node: are you alive?
 H_STATUS = 0x14         # node -> prober: counters + dataset inventory
+H_STATS = 0x15          # scraper -> node: metrics registry snapshot?
+H_STATS_REPLY = 0x16    # node -> scraper: JSON metrics snapshot
 
-_KNOWN_TYPES = frozenset(range(T_HELLO, H_STATUS + 1))
+_KNOWN_TYPES = frozenset(range(T_HELLO, H_STATS_REPLY + 1))
 
 # -- error codes (T_ERROR payloads) -------------------------------------------
 #
@@ -115,8 +141,15 @@ class ServiceProtocolError(WireFormatError):
     """A frame failed structural validation."""
 
 
-def pack_frame(frame_type: int, session_id: int, payload: bytes = b"") -> bytes:
-    """One framed message, ready for the socket."""
+def pack_frame(frame_type: int, session_id: int, payload: bytes = b"",
+               trace: "Tuple[int, int] | None" = None) -> bytes:
+    """One framed message, ready for the socket.
+
+    ``trace`` — a ``(trace id, span id)`` pair — upgrades the frame to
+    version 2 with the 16-byte trace extension.  The payload bytes (and
+    the declared length, which counts payload only) are identical either
+    way: tracing never shifts a transcript byte.
+    """
     if frame_type not in _KNOWN_TYPES:
         raise ServiceProtocolError("unknown frame type 0x%02x" % frame_type)
     if not 0 <= session_id < (1 << 32):
@@ -126,13 +159,41 @@ def pack_frame(frame_type: int, session_id: int, payload: bytes = b"") -> bytes:
             "payload of %d bytes exceeds the %d-byte cap"
             % (len(payload), MAX_PAYLOAD)
         )
+    if trace is None:
+        version, ext = FRAME_VERSION, b""
+    else:
+        version, ext = FRAME_VERSION_TRACED, trace_ext(trace[0], trace[1])
     return (
         MAGIC
-        + bytes([FRAME_VERSION, frame_type])
+        + bytes([version, frame_type])
         + session_id.to_bytes(4, "big")
         + len(payload).to_bytes(4, "big")
+        + ext
         + payload
     )
+
+
+def trace_ext(trace_id: int, span_id: int) -> bytes:
+    """The version-2 trace extension bytes."""
+    if not 0 <= trace_id < (1 << 64) or not 0 <= span_id < (1 << 64):
+        raise ServiceProtocolError("trace/span id out of 64-bit range")
+    return trace_id.to_bytes(8, "big") + span_id.to_bytes(8, "big")
+
+
+def parse_trace_ext(ext: bytes) -> Tuple[int, int]:
+    """(trace id, span id) from a trace extension."""
+    if len(ext) != TRACE_EXT_LEN:
+        raise ServiceProtocolError(
+            "trace extension is %d bytes, expected %d"
+            % (len(ext), TRACE_EXT_LEN)
+        )
+    return (int.from_bytes(ext[:8], "big"),
+            int.from_bytes(ext[8:], "big"))
+
+
+def header_ext_len(header: bytes) -> int:
+    """Bytes of extension following a validated header (0 or 16)."""
+    return TRACE_EXT_LEN if header[2] == FRAME_VERSION_TRACED else 0
 
 
 def unpack_header(header: bytes,
@@ -150,10 +211,10 @@ def unpack_header(header: bytes,
         )
     if header[:2] != MAGIC:
         raise ServiceProtocolError("bad frame magic %r" % (header[:2],))
-    if header[2] != FRAME_VERSION:
+    if header[2] not in (FRAME_VERSION, FRAME_VERSION_TRACED):
         raise ServiceProtocolError(
-            "frame version %d not supported (expected %d)"
-            % (header[2], FRAME_VERSION)
+            "frame version %d not supported (expected %d or %d)"
+            % (header[2], FRAME_VERSION, FRAME_VERSION_TRACED)
         )
     frame_type = header[3]
     if frame_type not in _KNOWN_TYPES:

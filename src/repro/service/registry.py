@@ -27,10 +27,13 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.base import pow2_dimension
 from repro.field.modular import PrimeField
 from repro.service import protocol as sp
 from repro.service.router import PlanUnit, QueryDescriptor, QueryRouter
+
+_log = obs.get_logger("service.registry")
 
 
 class RegistryError(ValueError):
@@ -203,6 +206,10 @@ class SessionRegistry:
         if (self.max_sessions is not None
                 and len(self.sessions) >= self.max_sessions):
             self.refusals += 1
+            obs.counter("repro_server_admission_refusals_total",
+                        kind="session").inc()
+            _log.info("admission.refused", kind="session",
+                      sessions=len(self.sessions))
             raise AdmissionError(
                 "service at capacity (%d sessions); retry later"
                 % len(self.sessions)
@@ -248,6 +255,10 @@ class SessionRegistry:
         if (self.max_inflight_queries is not None
                 and len(session.queries) >= self.max_inflight_queries):
             self.refusals += 1
+            obs.counter("repro_server_admission_refusals_total",
+                        kind="query").inc()
+            _log.info("admission.refused", kind="query",
+                      session=session_id, inflight=len(session.queries))
             raise AdmissionError(
                 "session %d already has %d queries in flight; retry later"
                 % (session_id, len(session.queries))
@@ -342,6 +353,9 @@ class SessionRegistry:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        _log.info("snapshot.written", path=path,
+                  datasets=len(self.datasets),
+                  updates=sum(d.n_updates for d in self.datasets.values()))
         return path
 
     @classmethod
@@ -374,6 +388,10 @@ class SessionRegistry:
             for vector, key, delta in entry.get("log", []):
                 dataset.apply(int(vector), [(int(key), int(delta))])
             registry.datasets[dataset.dataset_id] = dataset
+        _log.info("snapshot.restored", path=str(path),
+                  datasets=len(registry.datasets),
+                  updates=sum(d.n_updates
+                              for d in registry.datasets.values()))
         return registry
 
     # -- statistics ----------------------------------------------------------

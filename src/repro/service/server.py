@@ -21,10 +21,12 @@ real listening port without managing an event loop.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.heavy_hitters import NodeRecord
 from repro.field.modular import PrimeField
 from repro.service import protocol as sp
@@ -120,10 +122,14 @@ class ProverServer:
                  frame_timeout: Optional[float] = None,
                  idle_timeout: Optional[float] = None,
                  max_payload: int = sp.MAX_PAYLOAD,
-                 registry: Optional[SessionRegistry] = None):
+                 registry: Optional[SessionRegistry] = None,
+                 node_name: str = ""):
         self.field = field
         self.host = host
         self.port = port
+        #: Observability tag stamped on this node's spans and H_STATS
+        #: (cluster node managers pass the node id; default anonymous).
+        self.node_name = node_name
         if registry is None:
             registry = SessionRegistry(
                 field, prover_wrapper=prover_wrapper,
@@ -219,11 +225,51 @@ class ProverServer:
         if bucket.try_take():
             return True
         self.rate_limited += 1
+        obs.counter("repro_server_rate_limited_total",
+                    node=self.node_name).inc()
         return False
+
+    _SPAN_NAMES = {
+        sp.T_HELLO: "server.session.open",
+        sp.T_UPDATES: "server.update.block",
+        sp.T_QUERY_OPEN: "server.query.open",
+        sp.T_QUERY_CLOSE: "server.query.close",
+    }
+
+    def _frame_span(self, frame_type: int,
+                    trace_pair: Optional[Tuple[int, int]],
+                    payload: bytes):
+        """A server-side span parented under the frame's trace ext."""
+        tracer = obs.get_tracer()
+        if trace_pair is None or not tracer.enabled:
+            return obs.NOOP_SPAN
+        trace_id, parent_span = trace_pair
+        fields: Dict[str, object] = {}
+        name = self._SPAN_NAMES.get(frame_type)
+        if frame_type == sp.T_P_CALL:
+            try:
+                words = sp.parse_words(self.field, payload)
+                method = words[1] if len(words) >= 2 else 0
+            except sp.ServiceProtocolError:
+                method = 0
+            name = ("server.proof.round"
+                    if method in (sp.M_ROUND_MESSAGE, sp.M_ROUND_MESSAGES)
+                    else "server.proof.step")
+            fields["method"] = method
+        elif name is None:
+            name = "server.frame"
+            fields["type"] = frame_type
+        if self.node_name:
+            fields["node"] = self.node_name
+        return tracer.span(name, parent=parent_span, trace_id=trace_id,
+                           **fields)
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         session_id = 0
+        inflight = obs.gauge("repro_server_inflight_connections",
+                             node=self.node_name)
+        inflight.inc()
         try:
             while True:
                 try:
@@ -236,11 +282,20 @@ class ProverServer:
                     # Idle too long: shed the connection quietly — the
                     # client reconnects and resumes on its next request.
                     self.timeouts += 1
+                    obs.counter("repro_server_timeouts_total",
+                                kind="idle", node=self.node_name).inc()
                     break
                 frame_type, frame_session, length = sp.unpack_header(
                     header, max_payload=self.max_payload
                 )
+                trace_pair: Optional[Tuple[int, int]] = None
                 try:
+                    ext_len = sp.header_ext_len(header)
+                    if ext_len:
+                        ext = await self._read_exactly(
+                            reader, ext_len, self.frame_timeout
+                        )
+                        trace_pair = sp.parse_trace_ext(ext)
                     payload = await self._read_exactly(
                         reader, length, self.frame_timeout
                     )
@@ -249,6 +304,8 @@ class ProverServer:
                     # or malicious peer: structured refusal, then
                     # hang up (the stream position is unrecoverable).
                     self.timeouts += 1
+                    obs.counter("repro_server_timeouts_total",
+                                kind="frame", node=self.node_name).inc()
                     try:
                         writer.write(sp.pack_frame(
                             sp.T_ERROR, frame_session,
@@ -264,8 +321,8 @@ class ProverServer:
                     writer.write(sp.pack_frame(sp.T_BYE_ACK, frame_session))
                     await writer.drain()
                     break
-                if frame_type not in (sp.T_HELLO, sp.H_PING) and \
-                        not self._allow_frame(frame_session):
+                if frame_type not in (sp.T_HELLO, sp.H_PING, sp.H_STATS) \
+                        and not self._allow_frame(frame_session):
                     writer.write(sp.pack_frame(
                         sp.T_ERROR, frame_session,
                         sp.error_payload(
@@ -284,9 +341,10 @@ class ProverServer:
                             "connection already carries session %d"
                             % session_id
                         )
-                    replies = self._dispatch(
-                        frame_type, frame_session, payload
-                    )
+                    with self._frame_span(frame_type, trace_pair, payload):
+                        replies = self._dispatch(
+                            frame_type, frame_session, payload
+                        )
                     if frame_type == sp.T_HELLO and replies:
                         # remember the session born on this connection so
                         # a drop cleans it up
@@ -322,6 +380,7 @@ class ProverServer:
         except (ConnectionError, OSError):
             pass
         finally:
+            inflight.dec()
             if session_id:
                 self.registry.disconnect(session_id)
                 self._buckets.pop(session_id, None)
@@ -346,10 +405,14 @@ class ProverServer:
                     % (field.p, p)
                 )
             session = self.registry.connect(u, dataset_id)
+            # The trailing TRACE_CAPABLE word advertises version-2
+            # (traced) frame support; old clients read only the leading
+            # words and keep speaking version 1.
             ack = sp.words_payload(
                 field,
                 [session.dataset.n_updates,
-                 session.dataset.sessions_attached],
+                 session.dataset.sessions_attached,
+                 sp.TRACE_CAPABLE],
             )
             return [sp.pack_frame(sp.T_HELLO_ACK, session.session_id, ack)]
 
@@ -373,6 +436,25 @@ class ProverServer:
                     ),
                 )
             ]
+
+        if frame_type == sp.H_STATS:
+            # Metrics scrape: sessionless and rate-limit-exempt like
+            # H_PING; the payload is the whole registry snapshot as
+            # JSON — observability data rides outside the word
+            # encoding, so it never meets the transcript accounting.
+            body = json.dumps(
+                {
+                    "node": self.node_name,
+                    "metrics": obs.get_registry().snapshot(),
+                    "server": {
+                        "timeouts": self.timeouts,
+                        "rate_limited": self.rate_limited,
+                    },
+                    "registry": self.registry.stats(),
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            return [sp.pack_frame(sp.H_STATS_REPLY, session_id, body)]
 
         session = self.registry.session(session_id)
         dataset = session.dataset

@@ -134,6 +134,8 @@ class SharedShardStore:
                 ) from exc
             _OWNED.add(self)
             _STORES[name] = self
+            from repro import obs
+            obs.gauge("repro_shm_segments_live").inc()
         else:
             if name is None:
                 raise ValueError("attaching requires a segment name")
@@ -229,6 +231,9 @@ class SharedShardStore:
         if self._closed:
             return
         self._closed = True
+        if self.owner:
+            from repro import obs
+            obs.gauge("repro_shm_segments_live").dec()
         _OWNED.discard(self)
         if _STORES.get(self.name) is self:
             del _STORES[self.name]

@@ -35,12 +35,15 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.field.modular import PrimeField
 from repro.service import protocol as sp
 from repro.service.server import ProverServer
 
 #: Tail entries pulled per resync round-trip.
 RESYNC_BLOCK = 4096
+
+_log = obs.get_logger("service.supervisor")
 
 
 class SupervisorError(RuntimeError):
@@ -65,6 +68,9 @@ def _recv_frame(sock: socket.socket,
     frame_type, session_id, length = sp.unpack_header(
         header, max_payload=max_payload
     )
+    ext_len = sp.header_ext_len(header)
+    if ext_len:
+        _recv_exact(sock, ext_len)  # trace ext: read past, not used here
     payload = _recv_exact(sock, length) if length else b""
     return frame_type, session_id, payload
 
@@ -205,7 +211,9 @@ class ThreadNodeManager:
     def add_node(self, node_id: str) -> Tuple[str, int]:
         if node_id in self._handles:
             raise ValueError("node %r already managed" % node_id)
-        server = ProverServer(self.field, **self.server_kwargs)
+        kwargs = dict(self.server_kwargs)
+        kwargs.setdefault("node_name", node_id)
+        server = ProverServer(self.field, **kwargs)
         handle = server.serve_in_thread()
         self._handles[node_id] = handle
         self._addresses[node_id] = handle.address
@@ -236,11 +244,13 @@ class ThreadNodeManager:
         if self._handles.get(node_id) is not None:
             return self._addresses[node_id]
         path = self.snapshot_path(node_id)
+        kwargs = dict(self.server_kwargs)
+        kwargs.setdefault("node_name", node_id)
         if path is not None and os.path.exists(path):
             server = ProverServer.from_snapshot(path, self.field,
-                                                **self.server_kwargs)
+                                                **kwargs)
         else:
-            server = ProverServer(self.field, **self.server_kwargs)
+            server = ProverServer(self.field, **kwargs)
         handle = server.serve_in_thread()
         self._handles[node_id] = handle
         self._addresses[node_id] = handle.address
@@ -285,6 +295,7 @@ class ProcessNodeManager:
             sys.executable, "-m", "repro.service",
             "--host", "127.0.0.1", "--port", "0",
             "--field-p", str(self.field.p),
+            "--node-name", node_id,
         ]
         path = self.snapshot_path(node_id)
         if path is not None:
@@ -435,9 +446,12 @@ class NodeSupervisor:
     def heal(self, node_id: str) -> bool:
         """Restart (if down), resync (if lagging), readmit one node."""
         manager = self.manager
+        heal_t0 = time.perf_counter()
         if not manager.running(node_id):
             manager.restart(node_id)
             self.restarts += 1
+            obs.counter("repro_supervisor_restarts_total").inc()
+            _log.info("node.restarted", node=node_id)
         address = manager.address(node_id)
 
         for _round in range(self.max_rounds):
@@ -467,8 +481,16 @@ class NodeSupervisor:
             )
             if not lag:
                 self.heals += 1
+                obs.counter("repro_supervisor_heals_total").inc()
+                heal_seconds = time.perf_counter() - heal_t0
+                obs.histogram("repro_supervisor_heal_seconds").observe(
+                    heal_seconds)
+                _log.info("node.healed", node=node_id,
+                          rounds=_round + 1, seconds=heal_seconds)
                 return True
             # Updates landed while this round ran; go around again.
+        _log.warning("node.heal_incomplete", node=node_id,
+                     rounds=self.max_rounds)
         return False
 
     def _resync_dataset(self, node_id: str, address: Tuple[str, int],
@@ -487,6 +509,10 @@ class NodeSupervisor:
                 total = push_tail(address, self.field, u, dataset_id,
                                   blocks)
                 self.resyncs += 1
+                obs.counter("repro_supervisor_resyncs_total").inc()
+                _log.info("dataset.resynced", node=node_id,
+                          dataset=dataset_id, source=source,
+                          blocks=len(blocks), total=total)
                 return total
             except (OSError, sp.ServiceProtocolError,
                     SupervisorError) as exc:

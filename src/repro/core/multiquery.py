@@ -17,6 +17,7 @@ it is unsafe.  The paper offers two remedies, both implemented here:
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass
@@ -42,12 +43,36 @@ from repro.field.vectorized import (
     get_backend,
     inner_product_round_sums,
 )
-from repro.lde.canonical import range_indicator_eval
+from repro.lde.canonical import chi_at, dyadic_cover, range_indicator_eval
 from repro.lde.streaming import (
     DEFAULT_BLOCK,
     StreamingLDE,
     apply_stream_batched,
 )
+
+#: Environment knob selecting the RANGE-SUM indicator representation of
+#: the batched engine: ``dyadic`` (the default — O(log u) canonical
+#: nodes per query, ~Q·log² u indicator work per round) or ``dense``
+#: (the original Q×u stack, kept as the differential reference).  Both
+#: produce byte-identical transcripts.
+RANGE_FOLD_ENV_VAR = "REPRO_RANGE_FOLD"
+
+_RANGE_FOLD_MODES = ("dyadic", "dense")
+
+
+def range_fold_mode(name: Optional[str] = None) -> str:
+    """Resolve the indicator representation (arg > env > ``dyadic``)."""
+    if name is None:
+        name = (
+            os.environ.get(RANGE_FOLD_ENV_VAR, "dyadic").strip().lower()
+            or "dyadic"
+        )
+    if name not in _RANGE_FOLD_MODES:
+        raise ValueError(
+            "unknown range fold mode %r (expected dyadic or dense)" % (name,)
+        )
+    return name
+
 
 # -- batch query descriptors ---------------------------------------------------
 
@@ -145,24 +170,110 @@ def batch_range_sum(lo: int, hi: int) -> BatchQuery:
     return BatchQuery(BATCH_KIND_RANGE_SUM, (lo, hi))
 
 
+class _DyadicIndicator:
+    """One RANGE-SUM member's indicator, as O(log u) canonical nodes.
+
+    The verifier already evaluates the range indicator's LDE in
+    O(log² u) from its dyadic cover (Section 3.2); this is the *prover*
+    side of the same structure.  The indicator MLE decomposes as
+    ``B(x) = Σ_N Π_{k≥L} χ_{bit_{k-L}(m)}(x_k)`` over the cover's nodes
+    ``N = (L, m)`` — the free low dimensions sum out because
+    ``χ_0 + χ_1 = 1`` — so the dense Q×u stack never needs to exist:
+
+    * While round ``j < L`` the node is *wide*: its contribution to the
+      round polynomial is independent of past challenges — the plain
+      even/odd segment sums of the folded a-table over the node's
+      surviving block, answered in O(1) from the round's shared
+      prefix-sum pass (:meth:`~repro.field.vectorized.VectorizedField.
+      pair_prefix_sums`).
+    * From round ``j = L`` on the node is a *point*: all its remaining
+      dimensions are pinned by ``m``, so it selects a single a-table
+      pair, weighted by ``coeff = Π_{k=L..j-1} χ_{bit_{k-L}(m)}(r_k)`` —
+      maintained incrementally, one χ factor per challenge
+      (:func:`~repro.lde.canonical.chi_at`).
+
+    Per query per round this is O(log u) work instead of O(u), with the
+    exact same values mod p as folding the dense indicator table — the
+    differential harness pins the transcripts byte-identical.
+    """
+
+    __slots__ = ("nodes", "max_level")
+
+    def __init__(self, lo: int, hi: int):
+        # Mutable per-node state: [level, index, coeff].
+        self.nodes = [
+            [level, index, 1] for level, index in dyadic_cover(lo, hi)
+        ]
+        self.max_level = max(node[0] for node in self.nodes)
+
+    def round_message(self, backend, p: int, a_table, j: int,
+                      prefix) -> List[int]:
+        """``[g(0), g(1), g(2)]`` of this member's round-``j`` polynomial."""
+        g0 = g1 = g2 = 0
+        for level, index, coeff in self.nodes:
+            if level > j:
+                # Wide node: its block spans pair indices
+                # [m·2^(L-j-1), (m+1)·2^(L-j-1)) of the current table;
+                # the indicator contributes 1 at z = 0, 1 and 2 alike.
+                width = level - j - 1
+                s0, s1 = backend.prefix_segment_sums(
+                    prefix, index << width, (index + 1) << width
+                )
+                g0 += s0
+                g1 += s1
+                g2 += 2 * s1 - s0
+            else:
+                # Point node: dimensions j..d-1 are pinned by m's bits;
+                # χ_bit(0/1) selects one half of one pair, χ_bit(2) is
+                # 2 (bit set) or -1 (bit clear) against the pair's
+                # degree-1 extension 2·a_odd - a_even.
+                shift = j - level
+                pair = index >> (shift + 1)
+                a_even = int(a_table[2 * pair])
+                a_odd = int(a_table[2 * pair + 1])
+                if (index >> shift) & 1:
+                    g1 += coeff * a_odd
+                    g2 += coeff * (4 * a_odd - 2 * a_even)
+                else:
+                    g0 += coeff * a_even
+                    g2 += coeff * (a_even - 2 * a_odd)
+        return [g0 % p, g1 % p, g2 % p]
+
+    def fold(self, field, j: int, r: int) -> None:
+        """Absorb round ``j``'s challenge: one χ factor per point node."""
+        p = field.p
+        for node in self.nodes:
+            level = node[0]
+            if level <= j:
+                bit = (node[1] >> (j - level)) & 1
+                node[2] = node[2] * chi_at(field, bit, r) % p
+
+
 class BatchedSumcheckEngine:
     """The prover side of heterogeneous lockstep multi-query rounds.
 
     Generalises the stacked-table RANGE-SUM engine to mixed batches of
     F2, Fk, INNER-PRODUCT and RANGE-SUM queries over one dataset: one
     shared a-table (plus one b-table when the batch carries INNER-PRODUCT
-    members) and one (queries × table) indicator stack for the RANGE-SUM
-    members.  Per round it commits every query's polynomial
-    (:meth:`round_messages`) before the shared challenge folds every
-    table at once (:meth:`receive_challenge`) — at most one fused pass
-    per query family, however many queries share it.
+    members) and per-query :class:`_DyadicIndicator` state — O(log u)
+    canonical nodes each — for the RANGE-SUM members.  Per round it
+    commits every query's polynomial (:meth:`round_messages`) before the
+    shared challenge folds every table at once
+    (:meth:`receive_challenge`) — at most one fused pass per query
+    family, however many queries share it.
 
-    Under a vectorized backend the indicator rounds are three
-    ``rows_dot`` limb-plane passes over the stack, the Fk rounds one
-    ``pair_line_stack``/``rows_pow_sums`` pass per distinct k, and each
-    challenge folds the whole stack in one ``row_fold``.  The per-query
-    loops of the scalar backend are the reference; transcripts are
-    identical either way — and identical to the standalone one-query
+    RANGE-SUM indicator work per round is ~Q·log² u: one shared
+    even/odd prefix-sum pass over the folded a-table plus O(log u)
+    closed-form node terms per query (products of χ factors against
+    a-table segments), mirroring the verifier's O(log² u)
+    canonical-interval evaluation.  The original dense Q×u indicator
+    stack — three ``rows_dot`` limb-plane passes and a ``row_fold`` per
+    round — is retained behind ``REPRO_RANGE_FOLD=dense`` (or the
+    ``range_fold`` constructor argument) as the differential reference.
+    The Fk rounds are one ``pair_line_stack``/``rows_pow_sums`` pass per
+    distinct k.  The per-query loops of the scalar backend are the
+    reference; transcripts are identical whichever backend and whichever
+    indicator representation — and identical to the standalone one-query
     provers, message for message.
 
     :func:`run_batched_sumcheck` drives one of these — built locally
@@ -171,12 +282,19 @@ class BatchedSumcheckEngine:
     which implements the same three methods.
     """
 
-    def __init__(self, field: PrimeField, u: int, backend=None):
+    def __init__(self, field: PrimeField, u: int, backend=None,
+                 range_fold: Optional[str] = None):
         self.field = field
         self.u = u
         self.d = pow2_dimension(u)
         self.size = 1 << self.d
         self.backend = backend if backend is not None else get_backend(field)
+        #: Indicator representation for RANGE-SUM members; ``None``
+        #: defers to the ``REPRO_RANGE_FOLD`` environment knob at
+        #: :meth:`receive_batch` time (default ``dyadic``).
+        self.range_fold = (
+            range_fold_mode(range_fold) if range_fold is not None else None
+        )
         self.freq_a: List[int] = [0] * self.size
         self.freq_b: List[int] = [0] * self.size
         self._queries: Optional[List[BatchQuery]] = None
@@ -185,6 +303,8 @@ class BatchedSumcheckEngine:
         self._b_stack = None
         self._b_tables: Optional[List[List[int]]] = None
         self._range_index: List[int] = []
+        self._dyadic: Optional[List[_DyadicIndicator]] = None
+        self._round_index = 0
 
     # -- stream phase -------------------------------------------------------
 
@@ -248,9 +368,14 @@ class BatchedSumcheckEngine:
         ]
         self._b_stack = None
         self._b_tables = None
+        self._dyadic = None
+        self._round_index = 0
         if not self._range_index:
             return
         ranges = [queries[idx].params for idx in self._range_index]
+        if range_fold_mode(self.range_fold) == "dyadic":
+            self._dyadic = [_DyadicIndicator(lo, hi) for lo, hi in ranges]
+            return
         if getattr(be, "vectorized", False):
             # The indicator stack is written directly into one 2-D array.
             self._b_stack = be.stack([be.zeros(self.size)] * len(ranges))
@@ -264,10 +389,27 @@ class BatchedSumcheckEngine:
                 self._b_tables.append(b)
 
     def _range_round_messages(self) -> List[List[int]]:
-        """The fused (queries × table) pass for the RANGE-SUM members."""
+        """The RANGE-SUM members' committed round polynomials.
+
+        Dyadic representation: one shared even/odd prefix-sum pass over
+        the current a-table (only while some query still has wide
+        nodes), then O(log u) closed-form node terms per query.  Dense
+        representation: the fused (queries × table) stack pass.
+        """
         be = self.backend
         p = self.field.p
         a_table = self._a_table
+        if self._dyadic is not None:
+            j = self._round_index
+            prefix = (
+                be.pair_prefix_sums(a_table)
+                if any(state.max_level > j for state in self._dyadic)
+                else None
+            )
+            return [
+                state.round_message(be, p, a_table, j, prefix)
+                for state in self._dyadic
+            ]
         if self._b_stack is not None:
             a_lo, a_hi = a_table[0::2], a_table[1::2]
             a_at2 = be.sub(be.add(a_hi, a_hi), a_lo)
@@ -374,10 +516,14 @@ class BatchedSumcheckEngine:
         self._a_table = fold_pairs(be, field, self._a_table, r)
         if self._b_table is not None:
             self._b_table = fold_pairs(be, field, self._b_table, r)
-        if self._b_stack is not None:
+        if self._dyadic is not None:
+            for state in self._dyadic:
+                state.fold(field, self._round_index, r)
+        elif self._b_stack is not None:
             self._b_stack = be.row_fold(self._b_stack, r)
         elif self._b_tables is not None:
             self._b_tables = be.row_fold(self._b_tables, r)
+        self._round_index += 1
 
 
 class BatchRangeSumProver(BatchedSumcheckEngine):
@@ -396,9 +542,14 @@ class BatchRangeSumProver(BatchedSumcheckEngine):
     def from_range_sum_prover(
         cls, prover: RangeSumProver, backend=None
     ) -> "BatchRangeSumProver":
-        """Wrap an existing single-query prover's frequency vector."""
+        """Snapshot an existing single-query prover's frequency vector.
+
+        The vector is copied: later updates streamed into the wrapped
+        prover must not silently mutate a proof already in flight here
+        (and vice versa — the engine's own ``process`` stays local).
+        """
         out = cls(prover.field, prover.u, backend=backend)
-        out.freq_a = prover.freq_a
+        out.freq_a[: len(prover.freq_a)] = list(prover.freq_a)
         return out
 
     def receive_queries(self, queries: Sequence[Tuple[int, int]]) -> None:

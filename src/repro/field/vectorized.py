@@ -314,6 +314,38 @@ class ScalarBackend:
         counterpart of :meth:`VectorizedField.rows_dot`; identical results)."""
         return self.row_weighted_sums(stack, weights)
 
+    # -- pair prefix sums ----------------------------------------------------
+    #
+    # The structured (dyadic) RANGE-SUM fold needs, per round, the sum of
+    # the even entries and the sum of the odd entries of the folded proof
+    # table over O(Q·log u) canonical-node segments.  One shared prefix-sum
+    # pass per round makes every segment an O(1) lookup.
+
+    def pair_prefix_sums(self, table: Sequence[int]):
+        """Running sums of the even and odd entries of a proof table.
+
+        Returns an opaque state for :meth:`prefix_segment_sums`; entry
+        ``k`` of either running sum is ``Σ_{t<k} table[2t (+1)] mod p``.
+        """
+        p = self.p
+        even = [0] * (len(table) // 2 + 1)
+        odd = [0] * (len(table) // 2 + 1)
+        e = o = 0
+        k = 1
+        for t in range(0, len(table), 2):
+            e = (e + table[t]) % p
+            o = (o + table[t + 1]) % p
+            even[k] = e
+            odd[k] = o
+            k += 1
+        return even, odd
+
+    def prefix_segment_sums(self, state, start: int, end: int) -> Tuple[int, int]:
+        """``(Σ even, Σ odd)`` over pair indices ``[start, end)`` mod p."""
+        even, odd = state
+        p = self.p
+        return (even[end] - even[start]) % p, (odd[end] - odd[start]) % p
+
     # -- aggregates ----------------------------------------------------------
 
     def sum(self, arr: Sequence[int]) -> int:
@@ -677,6 +709,66 @@ class VectorizedField:
                         totals[t] += value << shift
         p = self.p
         return [t % p for t in totals]
+
+    # -- pair prefix sums ----------------------------------------------------
+
+    def pair_prefix_sums(self, table):
+        """Running sums of the even and odd entries of a proof table.
+
+        One ``cumsum`` pass per 32-bit half: canonical residues are split
+        so both ``uint64`` accumulators stay exact (``hi < 2^29`` and
+        ``lo < 2^32`` per entry keep any prefix below ``2^63`` for tables
+        of up to 2^31 pairs).  The returned state answers
+        :meth:`prefix_segment_sums` lookups in O(1) without ever
+        materialising Python-int prefix lists.
+        """
+        table = (
+            table if isinstance(table, _np.ndarray) else self.asarray(table)
+        )
+        even = table[0::2]
+        odd = table[1::2]
+        if self.dtype is object:
+            # Arbitrary-precision cumsum; exact as-is.
+            zero = _np.zeros(1, dtype=object)
+            return (
+                _np.concatenate([zero, _np.cumsum(even)]),
+                _np.concatenate([zero, _np.cumsum(odd)]),
+            )
+        zero = _np.zeros(1, dtype=_np.uint64)
+
+        def split_cumsum(half):
+            hi = _np.concatenate(
+                [zero, _np.cumsum(half >> _U32, dtype=_np.uint64)]
+            )
+            lo = _np.concatenate(
+                [zero, _np.cumsum(half & _MASK32, dtype=_np.uint64)]
+            )
+            return hi, lo
+
+        return split_cumsum(even), split_cumsum(odd)
+
+    def prefix_segment_sums(self, state, start: int, end: int) -> Tuple[int, int]:
+        """``(Σ even, Σ odd)`` over pair indices ``[start, end)`` mod p."""
+        even, odd = state
+        p = self.p
+        if self.dtype is object:
+            return (
+                int(even[end] - even[start]) % p,
+                int(odd[end] - odd[start]) % p,
+            )
+        ehi, elo = even
+        ohi, olo = odd
+        e = (
+            ((int(ehi[end]) - int(ehi[start])) << 32)
+            + int(elo[end])
+            - int(elo[start])
+        )
+        o = (
+            ((int(ohi[end]) - int(ohi[start])) << 32)
+            + int(olo[end])
+            - int(olo[start])
+        )
+        return e % p, o % p
 
     def pair_line_stack(self, table, points: Sequence[int]):
         """Stack of pair-line evaluations of a folded proof table.

@@ -61,6 +61,41 @@ def cover_is_partition(cover: Sequence[Node], lo: int, hi: int) -> bool:
     return cursor == hi + 1
 
 
+def chi_at(field: PrimeField, bit: int, value: int) -> int:
+    """``χ_bit(value) mod p``: ``value`` if the bit is set, else ``1 - value``.
+
+    The one-dimensional Lagrange basis factor every canonical-node
+    weight is a product of; ``value`` may be any integer (the prover's
+    dyadic fold evaluates it at 2, where ``χ_0(2) = -1 ≡ p - 1``).
+    """
+    p = field.p
+    return value % p if bit else (1 - value) % p
+
+
+def node_chi_product(
+    field: PrimeField, index: int, coords: Sequence[int]
+) -> int:
+    """``Π_k χ_{bit_k(index)}(coords[k])`` — a node's fixed-bit χ-product.
+
+    ``coords`` carries the evaluation point's coordinates for the node's
+    fixed (high) dimensions, lowest first: for a canonical node
+    ``(level, index)`` over ``u = 2^d`` keys pass ``point[level:]``, and
+    the result is the node's whole contribution to the indicator LDE at
+    ``point`` (the free low dimensions sum out to 1).  O(len(coords))
+    field operations.
+    """
+    p = field.p
+    w = 1
+    m = index
+    for r in coords:
+        if m & 1:
+            w = w * r % p
+        else:
+            w = w * (1 - r) % p
+        m >>= 1
+    return w
+
+
 def range_indicator_eval(
     field: PrimeField,
     d: int,
@@ -84,14 +119,5 @@ def range_indicator_eval(
     for level, index in dyadic_cover(lo, hi):
         # High bits of the interval occupy dimensions level..d-1 (0-based);
         # bit k of `index` is the digit for dimension level + k.
-        w = 1
-        m = index
-        for k in range(level, d):
-            r = point[k]
-            if m & 1:
-                w = w * r % p
-            else:
-                w = w * (1 - r) % p
-            m >>= 1
-        total = (total + w) % p
+        total = (total + node_chi_product(field, index, point[level:])) % p
     return total

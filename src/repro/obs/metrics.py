@@ -36,8 +36,9 @@ _FALSEY = frozenset(["0", "off", "false", "no"])
 
 #: Histograms keep exact samples up to this many observations (enough
 #: for every test and smoke workload); beyond it they keep exact
-#: count/sum/min/max and quantiles go nearest-rank over the retained
-#: prefix.
+#: count/sum/min/max and retention goes *windowed* — a ring buffer of
+#: the latest ``max_samples`` observations — so long-run quantiles track
+#: current behaviour instead of freezing on startup latencies.
 DEFAULT_MAX_SAMPLES = 65536
 
 #: Quantiles reported by snapshots and the text exposition.
@@ -140,13 +141,24 @@ class Gauge(_Instrument):
 
 
 class Histogram(_Instrument):
-    """Exact-sample histogram with nearest-rank quantiles."""
+    """Exact-sample histogram with nearest-rank quantiles.
+
+    Below ``max_samples`` observations every sample is retained, so
+    quantiles are exact and agree with the loadgen percentile to the
+    number.  Past the cap, retention is windowed: a ring buffer keeps
+    the *latest* ``max_samples`` observations (deterministic — no
+    sampling randomness), so a long-running service reports current
+    tail latency rather than whatever the first N observations were.
+    ``count``/``sum``/``min``/``max`` stay exact over the full history
+    regardless.
+    """
 
     def __init__(self, name, label_key, enabled,
                  max_samples: int = DEFAULT_MAX_SAMPLES):
         super().__init__(name, label_key, enabled)
         self._max_samples = max_samples
         self._samples: List[float] = []
+        self._next = 0  # ring cursor, meaningful once the window is full
         self._count = 0
         self._sum = 0.0
         self._min: Optional[float] = None
@@ -164,6 +176,9 @@ class Histogram(_Instrument):
                 self._max = value
             if len(self._samples) < self._max_samples:
                 self._samples.append(value)
+            else:
+                self._samples[self._next] = value
+                self._next = (self._next + 1) % self._max_samples
 
     @property
     def count(self) -> int:
@@ -176,10 +191,13 @@ class Histogram(_Instrument):
             return self._sum
 
     def samples(self) -> List[float]:
-        """A copy of the retained observations (exact for test-sized
-        workloads — the metrics-vs-accounting cross-check reads these)."""
+        """The retained observations, oldest first (exact for test-sized
+        workloads — the metrics-vs-accounting cross-check reads these;
+        the latest-``max_samples`` window past the cap)."""
         with self._lock:
-            return list(self._samples)
+            if len(self._samples) < self._max_samples or self._next == 0:
+                return list(self._samples)
+            return self._samples[self._next:] + self._samples[: self._next]
 
     def quantile(self, q: float) -> float:
         with self._lock:

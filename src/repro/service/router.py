@@ -109,7 +109,10 @@ TREE_KINDS = frozenset(
 #: heterogeneous direct-sum execution (Section 7) through the
 #: :class:`~repro.core.multiquery.BatchedSumcheckEngine` — except an F2
 #: descriptor that requests worker-pool execution, which keeps its own
-#: prover.
+#: prover.  There is no batch-size ceiling in the plan: RANGE-SUM
+#: members cost the engine O(log² u) per round each (the dyadic fold,
+#: ``REPRO_RANGE_FOLD``), so adding a range member to a unit is cheap
+#: server-side and always saves verifier words vs a standalone run.
 SUMCHECK_KINDS = frozenset(
     [KIND_RANGE_SUM, KIND_F2, KIND_FK, KIND_INNER_PRODUCT]
 )

@@ -95,9 +95,11 @@ def batch_case():
 # -- harness helpers -----------------------------------------------------------
 
 
-def build_batch_session(backend_name, u, updates_a, updates_b, point):
+def build_batch_session(backend_name, u, updates_a, updates_b, point,
+                        range_fold=None):
     backend = get_backend(F, backend_name)
-    engine = BatchedSumcheckEngine(F, u, backend=backend)
+    engine = BatchedSumcheckEngine(F, u, backend=backend,
+                                   range_fold=range_fold)
     verifier = BatchedSumcheckVerifier(F, u, point=point)
     for i, delta in updates_a:
         engine.process(i, delta)
@@ -260,7 +262,160 @@ def test_batched_transcripts_identical_across_backends(case):
     assert values["scalar"] == values["vectorized"]
 
 
-# -- degenerate paths ----------------------------------------------------------
+# -- dyadic vs dense indicator folds -------------------------------------------
+#
+# The structured dyadic RANGE-SUM representation (O(log u) canonical
+# nodes per query) must be *indistinguishable on the wire* from the
+# dense Q×u indicator stack it replaced — the dense path stays behind
+# REPRO_RANGE_FOLD=dense exactly so these tests can keep pinning it.
+
+
+def range_mix_strategy(u):
+    """RANGE-SUM-heavy batches biased toward adversarial range shapes."""
+    specials = [(0, 0), (u - 1, u - 1), (0, u - 1)]
+    if u >= 4:
+        specials.append((u // 4, u // 2 - 1))  # power-of-two aligned
+        specials.append((1, u - 2))  # maximally unaligned
+    ranges = st.one_of(
+        st.sampled_from(specials),
+        st.tuples(st.integers(0, u - 1), st.integers(0, u - 1)).map(
+            lambda pair: (min(pair), max(pair))
+        ),
+    ).map(lambda pair: batch_range_sum(*pair))
+    other = st.one_of(st.just(batch_f2()), st.integers(1, 3).map(batch_fk))
+    return st.lists(
+        st.one_of(ranges, ranges, ranges, other), min_size=1, max_size=8
+    )
+
+
+def dyadic_dense_case():
+    return st.integers(3, 7).flatmap(
+        lambda log_u: st.tuples(
+            st.just(1 << log_u),
+            updates_strategy(1 << log_u, max_size=30),
+            range_mix_strategy(1 << log_u),
+            st.integers(0, 2**32),
+        )
+    )
+
+
+def _run_fold_mode(backend_name, u, updates_a, queries, point, range_fold):
+    engine, verifier, backend = build_batch_session(
+        backend_name, u, updates_a, [], point, range_fold=range_fold
+    )
+    channel = Channel()
+    results = run_batched_sumcheck(engine, verifier, queries, channel,
+                                   backend=backend)
+    return results, channel
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=dyadic_dense_case())
+def test_dyadic_fold_transcripts_byte_identical_to_dense(backend_name, case):
+    """Dyadic and dense indicator representations commit identical round
+    messages — whole transcripts byte-for-byte, results equal — across
+    random (lo, hi) mixes, on either backend."""
+    u, updates_a, queries, seed = case
+    d = (u - 1).bit_length()
+    point = F.rand_vector(random.Random(seed), d)
+    dyadic, ch_dyadic = _run_fold_mode(
+        backend_name, u, updates_a, queries, point, "dyadic"
+    )
+    dense, ch_dense = _run_fold_mode(
+        backend_name, u, updates_a, queries, point, "dense"
+    )
+    assert ch_dyadic.transcript.messages == ch_dense.transcript.messages
+    assert [r.value for r in dyadic] == [r.value for r in dense]
+    assert all(r.accepted for r in dyadic)
+    # ...and both agree with the standalone scalar reference runs.
+    for idx, query in enumerate(queries):
+        single_result, single_channel = run_standalone(
+            query, "scalar", u, updates_a, [], point
+        )
+        assert single_result.accepted
+        assert single_result.value == dyadic[idx].value
+        assert per_query_view(ch_dyadic, idx) == \
+            standalone_view(single_channel), query.name
+
+
+EDGE_RANGE_CASES = [
+    ("single-key-low", lambda u: (0, 0)),
+    ("single-key-high", lambda u: (u - 1, u - 1)),
+    ("single-key-inner", lambda u: (u // 2 - 1, u // 2 - 1)),
+    ("full-range", lambda u: (0, u - 1)),
+    ("pow2-aligned-block", lambda u: (u // 4, u // 2 - 1)),
+    ("half-open-top", lambda u: (u // 2, u - 1)),
+    ("maximally-unaligned", lambda u: (1, u - 2)),
+]
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("name,make_range", EDGE_RANGE_CASES,
+                         ids=[n for n, _ in EDGE_RANGE_CASES])
+def test_dyadic_fold_edge_ranges_match_dense_and_standalone(
+    backend_name, name, make_range
+):
+    u = 64
+    lo, hi = make_range(u)
+    rng = random.Random(11)
+    updates_a = [(rng.randrange(u), rng.randrange(-2, 6)) for _ in range(70)]
+    point = F.rand_vector(random.Random(12), 6)
+    queries = [batch_range_sum(lo, hi), batch_f2()]
+    dyadic, ch_dyadic = _run_fold_mode(
+        backend_name, u, updates_a, queries, point, "dyadic"
+    )
+    dense, ch_dense = _run_fold_mode(
+        backend_name, u, updates_a, queries, point, "dense"
+    )
+    assert ch_dyadic.transcript.messages == ch_dense.transcript.messages
+    assert all(r.accepted for r in dyadic)
+    assert [r.value for r in dyadic] == [r.value for r in dense]
+    single_result, single_channel = run_standalone(
+        queries[0], "scalar", u, updates_a, [], point
+    )
+    assert single_result.accepted
+    assert per_query_view(ch_dyadic, 0) == standalone_view(single_channel)
+
+
+def test_range_fold_env_knob_selects_representation(monkeypatch):
+    """REPRO_RANGE_FOLD drives the engine-internal representation (the
+    constructor argument wins over the env); bad values are rejected."""
+    from repro.core.multiquery import range_fold_mode
+
+    monkeypatch.delenv("REPRO_RANGE_FOLD", raising=False)
+    assert range_fold_mode() == "dyadic"
+    monkeypatch.setenv("REPRO_RANGE_FOLD", "dense")
+    assert range_fold_mode() == "dense"
+    engine = BatchedSumcheckEngine(F, 16)
+    engine.receive_batch([batch_range_sum(2, 9)])
+    assert engine._dyadic is None  # env said dense
+    forced = BatchedSumcheckEngine(F, 16, range_fold="dyadic")
+    forced.receive_batch([batch_range_sum(2, 9)])
+    assert forced._dyadic is not None  # argument beats the env
+    monkeypatch.setenv("REPRO_RANGE_FOLD", "nonsense")
+    with pytest.raises(ValueError, match="range fold"):
+        BatchedSumcheckEngine(F, 16).receive_batch([batch_range_sum(0, 3)])
+    with pytest.raises(ValueError):
+        BatchedSumcheckEngine(F, 16, range_fold="nonsense")
+
+
+def test_wrapping_a_range_sum_prover_snapshots_its_vector():
+    """Regression: from_range_sum_prover used to alias the wrapped
+    prover's freq_a by reference, so updates streamed into the original
+    prover after wrapping silently mutated the engine's table."""
+    u = 32
+    prover = RangeSumProver(F, u)
+    prover.process_stream([(1, 4), (7, 2), (20, 1)])
+    engine = BatchRangeSumProver.from_range_sum_prover(prover)
+    assert engine.true_answer(0, u - 1) == 7
+    # The wrapped prover keeps streaming: the engine must not see it...
+    prover.process(7, 10)
+    assert engine.true_answer(0, u - 1) == 7
+    # ...and the engine's own updates must not leak back.
+    engine.process(2, 5)
+    assert prover.freq_a[2] == 0
 
 
 @pytest.mark.parametrize("backend_name", BACKENDS)

@@ -116,3 +116,45 @@ def test_indicator_eval_validation():
         range_indicator_eval(F, 3, point, 2, 8)  # hi out of universe
     with pytest.raises(ValueError):
         range_indicator_eval(F, 4, point, 0, 3)  # point dim mismatch
+
+
+def test_chi_at_is_the_lagrange_basis_factor():
+    from repro.lde.canonical import chi_at
+
+    p = F.p
+    # On the grid: chi_b(x) is the 0/1 membership indicator.
+    assert chi_at(F, 0, 0) == 1 and chi_at(F, 0, 1) == 0
+    assert chi_at(F, 1, 0) == 0 and chi_at(F, 1, 1) == 1
+    # Off the grid: chi_0(2) = -1, chi_1(2) = 2 (the prover's degree-2
+    # probe point), reduced mod p.
+    assert chi_at(F, 0, 2) == p - 1
+    assert chi_at(F, 1, 2) == 2
+    # Partition of unity at any value.
+    for v in (0, 1, 2, 12345, p - 1):
+        assert (chi_at(F, 0, v) + chi_at(F, 1, v)) % p == 1
+
+
+@given(ranges_64)
+def test_node_chi_products_sum_to_indicator_eval(bounds):
+    """Summing each cover node's chi-product reproduces the range
+    indicator LDE — the identity the dyadic prover fold relies on."""
+    from repro.lde.canonical import node_chi_product
+
+    lo, hi = bounds
+    rng = random.Random(hi * 131 + lo)
+    point = F.rand_vector(rng, 6)
+    total = 0
+    for level, index in dyadic_cover(lo, hi):
+        total = (total + node_chi_product(F, index, point[level:])) % F.p
+    assert total == range_indicator_eval(F, 6, point, lo, hi)
+
+
+def test_node_chi_product_on_boolean_coords_is_bit_match():
+    from repro.lde.canonical import node_chi_product
+
+    # With 0/1 coords the product is 1 iff the coords spell the index.
+    for index in range(8):
+        for q in range(8):
+            bits = [(q >> j) & 1 for j in range(3)]
+            expected = 1 if q == index else 0
+            assert node_chi_product(F, index, bits) == expected

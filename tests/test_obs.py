@@ -88,6 +88,95 @@ def test_histogram_count_and_sum_stay_exact_past_sample_cap():
     assert len(h.samples()) == obs.metrics.DEFAULT_MAX_SAMPLES
 
 
+def test_histogram_retention_is_windowed_past_the_cap():
+    """Past max_samples the histogram keeps the *latest* window, oldest
+    first — a long-run p95/p99 reflects current latencies, not whatever
+    the first N observations at startup happened to be (the old first-N
+    retention silently dropped every later sample)."""
+    h = obs.metrics.Histogram("w", (), True, max_samples=8)
+    for i in range(20):
+        h.observe(float(i))
+    assert h.samples() == [float(i) for i in range(12, 20)]
+    assert h.count == 20
+    assert h.sum == float(sum(range(20)))
+    # Quantiles are nearest-rank over the retained window — and agree
+    # with the loadgen percentile on that same window.
+    window = [float(i) for i in range(12, 20)]
+    for q in (0.5, 0.9, 0.95, 0.99):
+        assert h.quantile(q) == _percentile(window, q)
+    # A regime change after the cap is visible (first-N retention froze
+    # the distribution at startup and would still report ~startup p99).
+    for _ in range(8):
+        h.observe(1000.0)
+    assert h.quantile(0.99) == 1000.0
+    assert h.samples() == [1000.0] * 8
+
+
+def test_histogram_windowed_retention_fills_ring_in_order():
+    h = obs.metrics.Histogram("w2", (), True, max_samples=4)
+    for i in range(6):  # partial second lap of the ring
+        h.observe(float(i))
+    assert h.samples() == [2.0, 3.0, 4.0, 5.0]
+    # Below the cap retention is exact, so quantiles match loadgen on
+    # the full sample set — the sub-cap agreement contract is unchanged.
+    fresh = obs.metrics.Histogram("w3", (), True, max_samples=100)
+    values = [float(v) for v in (5, 1, 9, 2, 2, 7)]
+    for v in values:
+        fresh.observe(v)
+    for q in (0.5, 0.9, 0.95, 0.99):
+        assert fresh.quantile(q) == _percentile(values, q)
+
+
+def test_windowed_histogram_rotation_never_touches_transcripts():
+    """Drive a real batched sum-check with the engine's round histogram
+    capped at a 2-sample window (so the ring rotates every round) and
+    assert the transcript is byte-identical to a metrics-off run — the
+    retention policy is invisible to the protocol."""
+    import random as _random
+
+    from repro.comm.channel import Channel
+    from repro.core.multiquery import (
+        BatchedSumcheckEngine,
+        BatchedSumcheckVerifier,
+        batch_f2,
+        batch_range_sum,
+        run_batched_sumcheck,
+    )
+    from repro.field.modular import DEFAULT_FIELD as F
+
+    u = 64
+    updates = [(i % u, 1 + i % 3) for i in range(40)]
+    point = F.rand_vector(_random.Random(3), 6)
+
+    def run(reg):
+        old = obs.set_registry(reg)
+        try:
+            engine = BatchedSumcheckEngine(F, u)
+            verifier = BatchedSumcheckVerifier(F, u, point=point)
+            for i, delta in updates:
+                engine.process(i, delta)
+                verifier.process_a(i, delta)
+            ch = Channel()
+            results = run_batched_sumcheck(
+                engine, verifier, [batch_range_sum(3, 40), batch_f2()], ch
+            )
+            assert all(r.accepted for r in results)
+            return ch.transcript.messages
+        finally:
+            obs.set_registry(old)
+
+    reg = obs.MetricsRegistry(enabled=True)
+    capped = reg._get(
+        "histogram", obs.metrics.Histogram, "repro_sumcheck_round_seconds",
+        {}, max_samples=2,
+    )
+    on = run(reg)
+    assert capped.count == 6  # one observation per round, d = 6
+    assert len(capped.samples()) == 2  # ...retained through the window
+    off = run(obs.MetricsRegistry(enabled=False))
+    assert on == off
+
+
 def test_disabled_registry_is_a_cheap_noop():
     reg = obs.MetricsRegistry(enabled=False)
     reg.counter("c").inc()

@@ -319,3 +319,52 @@ def test_evaluate_from_evals_batch_matches_single():
     assert evaluate_from_evals_batch(field, [], 5) == []
     with pytest.raises(ValueError):
         evaluate_from_evals_batch(field, [[1, 2], [1]], 5)
+
+
+def _reference_pair_sums(field, table, start, end):
+    p = field.p
+    even = sum(table[2 * i] for i in range(start, end)) % p
+    odd = sum(table[2 * i + 1] for i in range(start, end)) % p
+    return even, odd
+
+
+def test_pair_prefix_sums_segments_match_reference(setup):
+    field, be, xs, _ = setup
+    n = 1 << 6
+    table_vals = [x % field.p for x in xs[:n]]
+    table = be.asarray(table_vals)
+    prefix = be.pair_prefix_sums(table)
+    pairs = n // 2
+    rng = random.Random(field.p % 4099)
+    segments = [(0, pairs), (0, 0), (pairs, pairs), (0, 1), (pairs - 1, pairs)]
+    segments += [tuple(sorted(rng.sample(range(pairs + 1), 2))) for _ in range(20)]
+    for start, end in segments:
+        assert be.prefix_segment_sums(prefix, start, end) == \
+            _reference_pair_sums(field, table_vals, start, end)
+
+
+def test_pair_prefix_sums_scalar_backend_matches(setup):
+    field, be, xs, _ = setup
+    sb = ScalarBackend(field)
+    n = 1 << 5
+    table_vals = [x % field.p for x in xs[:n]]
+    v_prefix = be.pair_prefix_sums(be.asarray(table_vals))
+    s_prefix = sb.pair_prefix_sums(sb.asarray(table_vals))
+    for start in range(n // 2 + 1):
+        for end in range(start, n // 2 + 1):
+            assert be.prefix_segment_sums(v_prefix, start, end) == \
+                sb.prefix_segment_sums(s_prefix, start, end)
+
+
+def test_pair_prefix_sums_uint64_path_is_exact_at_scale():
+    # The uint64 path splits hi/lo 32-bit cumsums to dodge overflow;
+    # stress it with every entry at p-1 so the raw cumsum would wrap.
+    p = (1 << 31) - 1
+    field = PrimeField(p, check_prime=False)
+    be = VectorizedField(field)
+    n = 1 << 12
+    table_vals = [p - 1] * n
+    prefix = be.pair_prefix_sums(be.asarray(table_vals))
+    pairs = n // 2
+    assert be.prefix_segment_sums(prefix, 0, pairs) == \
+        ((pairs * (p - 1)) % p, (pairs * (p - 1)) % p)
